@@ -1,0 +1,75 @@
+// Shared scaffolding for the experiment benches: scenario construction from
+// command-line seed/scale, and the standard "drive a day of workload while
+// cache-probing" measurement loop several experiments share.
+//
+// Every bench binary runs standalone with no arguments (seed 42, default
+// scale); pass `<seed> [tiny|default|large]` to vary.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/report.h"
+#include "core/scenario.h"
+#include "core/traffic_map.h"
+#include "core/workload.h"
+#include "scan/cache_prober.h"
+#include "scan/root_crawler.h"
+
+namespace itm::bench {
+
+inline core::ScenarioConfig config_from_args(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::string scale = argc > 2 ? argv[2] : "default";
+  if (scale == "tiny") return core::tiny_config(seed);
+  if (scale == "large") return core::large_config(seed);
+  return core::default_config(seed);
+}
+
+inline std::unique_ptr<core::Scenario> make_scenario(int argc, char** argv) {
+  const auto config = config_from_args(argc, argv);
+  std::cerr << "[bench] generating scenario (seed " << config.seed << ")...\n";
+  auto scenario = core::Scenario::generate(config);
+  std::cerr << "[bench] " << scenario->topo().graph.size() << " ASes, "
+            << scenario->users().size() << " user /24s, "
+            << scenario->catalog().size() << " services\n";
+  return scenario;
+}
+
+// A day of workload with interleaved cache-probing sweeps; returns the
+// prober (with accumulated hits) and leaves root logs populated.
+struct MeasurementDay {
+  std::unique_ptr<scan::CacheProber> prober;
+  scan::RootCrawlResult crawl;
+};
+
+inline MeasurementDay run_measurement_day(
+    core::Scenario& scenario, std::size_t probe_rounds = 16,
+    scan::CacheProbeConfig probe_config = {},
+    core::WorkloadConfig workload_config = {}) {
+  core::Workload workload(scenario, workload_config,
+                          scenario.config().seed ^ 0xda7);
+  auto prober = std::make_unique<scan::CacheProber>(
+      scenario.dns(), scenario.catalog(), probe_config);
+  const auto routable = scenario.topo().addresses.routable_slash24s();
+  for (std::size_t round = 0; round < probe_rounds; ++round) {
+    const SimTime at =
+        (2 * round + 1) * workload_config.duration / (2 * probe_rounds);
+    workload.advance_to(at);
+    prober->sweep(routable, at);
+    std::cerr << "[bench] probe round " << (round + 1) << "/" << probe_rounds
+              << "\r";
+  }
+  std::cerr << "\n";
+  workload.finish();
+  MeasurementDay day;
+  day.prober = std::move(prober);
+  day.crawl = scan::crawl_root_logs(scenario.dns(), scenario.topo().addresses);
+  return day;
+}
+
+}  // namespace itm::bench

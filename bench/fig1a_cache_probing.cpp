@@ -1,0 +1,52 @@
+// FIG1A — Figure 1a: client /24s detected by DNS cache probing, per public
+// resolver PoP.
+//
+// Paper: a bar per probed Google Public DNS PoP, prefix counts spanning
+// several orders of magnitude (log scale), because each PoP's cache only
+// reflects the prefixes in its anycast catchment. Here: one row per
+// simulated public PoP with the count of distinct /24s detected there, plus
+// the global union and its coverage of the ground-truth user universe.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "inference/client_detection.h"
+
+int main(int argc, char** argv) {
+  using namespace itm;
+  auto scenario = bench::make_scenario(argc, argv);
+  auto day = bench::run_measurement_day(*scenario);
+
+  std::cout << "== FIG1A: client prefixes detected per public DNS PoP ==\n";
+  const auto per_pop = day.prober->prefixes_per_pop();
+  const auto& pops = scenario->dns().public_pops();
+  const auto& geo = scenario->topo().geography;
+
+  core::Table table({"pop", "city", "country", "detected /24s"});
+  std::vector<std::size_t> order(per_pop.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return per_pop[a] > per_pop[b];
+  });
+  for (const std::size_t p : order) {
+    const auto& city = geo.city(pops[p].city);
+    table.row("pop-" + std::to_string(p), city.name,
+              geo.country(city.country).name, per_pop[p]);
+  }
+  table.print();
+
+  const auto detected = day.prober->detected_prefixes();
+  const auto max_count = *std::max_element(per_pop.begin(), per_pop.end());
+  const auto min_count = *std::min_element(per_pop.begin(), per_pop.end());
+  std::cout << "\nunion of all PoPs: " << detected.size() << " /24s"
+            << " (user universe: " << scenario->users().size() << ")\n";
+  std::cout << "per-PoP spread: max/min = " << max_count << "/" << min_count
+            << " — per-PoP counts reflect anycast catchment sizes\n";
+
+  const auto cov = inference::evaluate_prefixes(
+      detected, scenario->users(), scenario->matrix(), HypergiantId(0));
+  std::cout << "prefix detection covers " << core::pct(cov.traffic_coverage)
+            << " of reference-hypergiant traffic (paper: ~95%), "
+            << core::pct(cov.false_positive_rate)
+            << " false positives (paper: <1%)\n";
+  return 0;
+}

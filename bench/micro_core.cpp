@@ -1,0 +1,128 @@
+// MICRO — google-benchmark microbenchmarks for the hot data structures and
+// algorithms: prefix-trie longest-prefix match, BGP route propagation,
+// DNS cache probing, anycast catchment computation, and traffic-matrix
+// assembly. These bound how far the scenario scale can be pushed.
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.h"
+#include "core/workload.h"
+#include "net/prefix_trie.h"
+#include "routing/bgp.h"
+#include "scan/cache_prober.h"
+
+namespace {
+
+using namespace itm;
+
+core::Scenario& scenario() {
+  static auto s = core::Scenario::generate(core::default_config(7));
+  return *s;
+}
+
+void BM_PrefixTrieLpm(benchmark::State& state) {
+  PrefixTrie<int> trie;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    trie.insert(Ipv4Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                           static_cast<std::uint8_t>(rng.uniform_int(8, 24))),
+                i);
+  }
+  std::uint32_t probe = 0x12345678;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 1;
+    benchmark::DoNotOptimize(trie.longest_match(Ipv4Addr(probe)));
+  }
+}
+BENCHMARK(BM_PrefixTrieLpm);
+
+void BM_AddressPlanOrigin(benchmark::State& state) {
+  const auto& plan = scenario().topo().addresses;
+  std::uint32_t probe = 0x05000000;
+  for (auto _ : state) {
+    probe += 65521;
+    benchmark::DoNotOptimize(plan.origin_of(Ipv4Addr(probe)));
+  }
+}
+BENCHMARK(BM_AddressPlanOrigin);
+
+void BM_BgpSingleOriginPropagation(benchmark::State& state) {
+  const auto& topo = scenario().topo();
+  const routing::Bgp bgp(topo.graph);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Asn dest(static_cast<std::uint32_t>(i++ % topo.graph.size()));
+    benchmark::DoNotOptimize(bgp.routes_to(dest));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(topo.graph.size()));
+}
+BENCHMARK(BM_BgpSingleOriginPropagation);
+
+void BM_BgpAnycastPropagation(benchmark::State& state) {
+  const auto& topo = scenario().topo();
+  const routing::Bgp bgp(topo.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp.routes_to_set(topo.hypergiants));
+  }
+}
+BENCHMARK(BM_BgpAnycastPropagation);
+
+void BM_DnsResolve(benchmark::State& state) {
+  auto& s = scenario();
+  Rng rng(3);
+  const auto& up = s.users().all().front();
+  const auto& svc = s.catalog().services().front();
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 7;
+    benchmark::DoNotOptimize(s.dns().resolve(up, svc, t, rng));
+  }
+}
+BENCHMARK(BM_DnsResolve);
+
+void BM_CacheProbe(benchmark::State& state) {
+  auto& s = scenario();
+  const auto& svc = s.catalog().services().front();
+  const auto prefix = s.users().all().front().prefix;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.dns().probe_cache(0, svc, prefix, 1000));
+  }
+}
+BENCHMARK(BM_CacheProbe);
+
+void BM_ClientMapping(benchmark::State& state) {
+  auto& s = scenario();
+  const auto& svc = s.catalog().services().front();
+  const auto prefixes = s.users().all();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& up = prefixes[i++ % prefixes.size()];
+    benchmark::DoNotOptimize(
+        s.mapper().map(svc, up.asn, up.city, up.city, i));
+  }
+}
+BENCHMARK(BM_ClientMapping);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  auto& s = scenario();
+  core::WorkloadConfig config;
+  config.queries_per_activity = 1.0;  // lighter event stream
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::Workload workload(s, config, seed++);
+    benchmark::DoNotOptimize(workload.total_events());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_ScenarioGenerateTiny(benchmark::State& state) {
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Scenario::generate(core::tiny_config(seed++)));
+  }
+}
+BENCHMARK(BM_ScenarioGenerateTiny);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// TAB1 — Table 1: achieved coverage and precision of every Internet-traffic-
+// map component, produced by running the full MapBuilder pipeline (all
+// public-data techniques) and scoring each component against ground truth.
+//
+// Paper's Table 1 rows:
+//   1a. finding prefixes with users      (desired /24 + daily; now weekly)
+//   1b. estimating relative activity     (desired /24 hourly; now AS yearly)
+//   2a. mapping services                 (desired facility weekly)
+//   2b. mapping users to hosts           (desired prefix hourly)
+//   3.  routes between users and services (desired <city,AS> daily; now N/A)
+#include "bench_common.h"
+#include "inference/activity.h"
+#include "inference/client_detection.h"
+#include "inference/geolocation.h"
+#include "inference/mapping_eval.h"
+#include "net/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace itm;
+  auto scenario = bench::make_scenario(argc, argv);
+  core::MapBuilder builder(*scenario);
+  std::cerr << "[bench] building the full traffic map...\n";
+  const auto map = builder.build();
+  const auto& topo = scenario->topo();
+
+  // ---- 1a. Finding prefixes with users.
+  const auto prefix_cov = inference::evaluate_prefixes(
+      map.client_prefixes, scenario->users(), scenario->matrix(),
+      HypergiantId(0));
+  const auto as_cov = inference::evaluate_ases(
+      map.client_ases, scenario->users(), scenario->matrix(), HypergiantId(0),
+      topo);
+
+  // ---- 1b. Relative activity.
+  const auto activity_score =
+      inference::score_activity(map.activity, scenario->users(), topo);
+
+  // ---- 2a. Mapping services: endpoint discovery + geolocation.
+  std::size_t truth_endpoints = scenario->tls().size();
+  std::size_t discovered = 0, classified = 0, offnet_right = 0,
+              offnet_total = 0;
+  for (const auto& ep : map.tls.endpoints) {
+    ++discovered;
+    const auto* truth = scenario->tls().endpoint_at(ep.address);
+    if (!ep.inferred_operator.empty()) ++classified;
+    if (truth != nullptr && truth->hypergiant.has_value()) {
+      ++offnet_total;
+      if (ep.inferred_offnet == truth->offnet) ++offnet_right;
+    }
+  }
+  const auto geo_truth = [&](Ipv4Addr addr) -> std::optional<GeoPoint> {
+    const auto* ep = scenario->tls().endpoint_at(addr);
+    if (ep == nullptr) return std::nullopt;
+    return topo.geography.city(ep->city).location;
+  };
+  const auto geo_score =
+      inference::score_geolocation(map.server_locations, geo_truth);
+
+  // ---- 2b. Users to hosts: exactness of the inferred mapping for the
+  // ECS-swept services, accounting for the ISP-resolver fraction whose real
+  // answers the sweep cannot see.
+  double mapped_addr_right = 0, mapped_city_right = 0, mapped_bytes = 0;
+  const auto city_of = [&](Ipv4Addr addr) -> std::optional<CityId> {
+    const auto* ep = scenario->tls().endpoint_at(addr);
+    if (ep == nullptr) return std::nullopt;
+    return ep->city;
+  };
+  for (const auto& [sid, sweep] : map.user_mapping) {
+    const auto& svc = scenario->catalog().service(ServiceId(sid));
+    const auto prefixes = scenario->users().all();
+    for (const auto& up : prefixes) {
+      const auto it = sweep.find(up.prefix);
+      if (it == sweep.end()) continue;
+      const double bytes = up.activity * svc.popularity;
+      // Public-resolver bytes resolve exactly as the sweep saw; ISP bytes
+      // were answered by the resolver's location instead.
+      const auto isp_result = scenario->mapper().map(
+          svc, up.asn, up.city, topo.graph.info(up.asn).home_city,
+          up.prefix.base().bits() ^ svc.id.value());
+      mapped_bytes += bytes;
+      mapped_addr_right += bytes * up.public_dns_share;
+      mapped_city_right += bytes * up.public_dns_share;
+      if (isp_result.address == it->second) {
+        mapped_addr_right += bytes * (1 - up.public_dns_share);
+      }
+      if (city_of(isp_result.address) == city_of(it->second)) {
+        mapped_city_right += bytes * (1 - up.public_dns_share);
+      }
+    }
+  }
+
+  // ---- 3. Routes.
+  const auto pred_before = routing::evaluate_prediction(
+      topo.graph, map.observed_graph, map.public_view, topo.accesses,
+      topo.hypergiants);
+  const auto pred_after = routing::evaluate_prediction(
+      topo.graph, map.augmented_graph, map.public_view, topo.accesses,
+      topo.hypergiants);
+
+  std::cout << "== TAB1: achieved coverage/precision per ITM component ==\n";
+  core::Table table({"component", "granularity", "metric", "achieved",
+                     "paper's 'now'"});
+  table.row("1a finding user prefixes", "/24, daily",
+            "traffic coverage (prefix level)",
+            core::pct(prefix_cov.traffic_coverage), "95% (weekly)");
+  table.row("", "", "false positives",
+            core::pct(prefix_cov.false_positive_rate), "<1%");
+  table.row("", "AS", "traffic coverage (combined)",
+            core::pct(as_cov.traffic_coverage), "99%");
+  table.row("1b relative activity", "AS, daily", "spearman vs truth",
+            core::num(activity_score.spearman), "AS, yearly");
+  table.row("", "", "kendall tau",
+            core::num(activity_score.kendall_tau), "-");
+  table.row("2a mapping services", "address", "endpoints discovered",
+            std::to_string(discovered) + "/" + std::to_string(truth_endpoints),
+            "server owner");
+  table.row("", "", "off-net classification accuracy",
+            core::pct(offnet_total ? static_cast<double>(offnet_right) /
+                                         offnet_total
+                                   : 0),
+            "-");
+  table.row("", "city", "median geolocation error (km)",
+            core::num(geo_score.median_error_km, 0), "-");
+  table.row("", "", "servers within 500km",
+            core::pct(geo_score.frac_within_500km), "-");
+  table.row("2b users to hosts", "/24 per service",
+            "bytes mapped to correct serving city",
+            core::pct(mapped_bytes > 0 ? mapped_city_right / mapped_bytes
+                                       : 0),
+            "routable /24s, ECS services");
+  table.row("", "", "bytes mapped to exact front end",
+            core::pct(mapped_bytes > 0 ? mapped_addr_right / mapped_bytes
+                                       : 0),
+            "-");
+  table.row("3 routes", "AS path", "peering links visible",
+            core::pct(map.public_view.peering_coverage(topo.graph)), "N/A");
+  table.row("", "", "eyeball->hypergiant paths predicted",
+            core::pct(pred_before.exact_rate()), "N/A");
+  table.row("", "", "with recommended links",
+            core::pct(pred_after.exact_rate()), "N/A");
+  table.print();
+
+  std::cout << "\nmap artifacts: " << map.client_prefixes.size()
+            << " client /24s, " << map.client_ases.size() << " client ASes, "
+            << map.tls.endpoints.size() << " TLS endpoints, "
+            << map.server_locations.size() << " geolocated servers, "
+            << map.user_mapping.size() << " ECS service mappings, "
+            << map.recommended_links.size() << " recommended links\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "apnic/estimator.h"
+
+namespace itm::apnic {
+
+ApnicEstimates ApnicEstimates::build(const topology::Topology& topo,
+                                     const traffic::UserBase& users,
+                                     const ApnicConfig& config, Rng& rng) {
+  ApnicEstimates est;
+  for (const Asn asn : topo.accesses) {
+    const double truth = users.as_users(asn);
+    if (truth <= 0) continue;
+    const double sampled =
+        static_cast<double>(rng.poisson(truth * config.sample_rate));
+    if (sampled < config.min_sampled) continue;
+    const double estimate = sampled / config.sample_rate *
+                            config.scale_bias *
+                            rng.lognormal(0.0, config.noise_sigma);
+    est.by_as_.emplace(asn.value(), estimate);
+    est.total_ += estimate;
+  }
+  return est;
+}
+
+double ApnicEstimates::users(Asn asn) const {
+  const auto it = by_as_.find(asn.value());
+  return it == by_as_.end() ? 0.0 : it->second;
+}
+
+double ApnicEstimates::country_users(const topology::Topology& topo,
+                                     CountryId country) const {
+  double total = 0;
+  for (const auto& [asn, estimate] : by_as_) {
+    if (topo.graph.info(Asn(asn)).country == country) total += estimate;
+  }
+  return total;
+}
+
+}  // namespace itm::apnic

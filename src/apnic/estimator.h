@@ -1,0 +1,56 @@
+// APNIC-style per-AS Internet user estimates.
+//
+// APNIC Labs estimates network populations from ad-impression sampling. The
+// estimates are AS-granular (too coarse for many ITM use cases), noisy, and
+// unvalidated — the paper uses them only as a broad comparator (Figures 1b
+// and 2). This module reproduces that data product from the ground truth:
+// a sampled, noised, thresholded per-AS user count.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "net/rng.h"
+#include "topology/generator.h"
+#include "traffic/user_base.h"
+
+namespace itm::apnic {
+
+struct ApnicConfig {
+  // Fraction of users the ad campaign samples.
+  double sample_rate = 0.02;
+  // Multiplicative lognormal noise sigma on per-AS estimates.
+  double noise_sigma = 0.25;
+  // ASes with fewer sampled users than this are not reported.
+  double min_sampled = 3.0;
+  // Systematic scale bias of the population model.
+  double scale_bias = 1.08;
+};
+
+class ApnicEstimates {
+ public:
+  static ApnicEstimates build(const topology::Topology& topo,
+                              const traffic::UserBase& users,
+                              const ApnicConfig& config, Rng& rng);
+
+  // Estimated users of an AS (0 when APNIC has no data for it).
+  [[nodiscard]] double users(Asn asn) const;
+  [[nodiscard]] bool covered(Asn asn) const { return users(asn) > 0; }
+
+  [[nodiscard]] const std::unordered_map<std::uint32_t, double>& by_as()
+      const {
+    return by_as_;
+  }
+
+  // Estimated users summed over a country's ASes.
+  [[nodiscard]] double country_users(const topology::Topology& topo,
+                                     CountryId country) const;
+
+  [[nodiscard]] double total_users() const { return total_; }
+
+ private:
+  std::unordered_map<std::uint32_t, double> by_as_;
+  double total_ = 0.0;
+};
+
+}  // namespace itm::apnic

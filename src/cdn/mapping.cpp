@@ -1,0 +1,181 @@
+#include "cdn/mapping.h"
+
+#include <cassert>
+#include <limits>
+
+#include "net/geo.h"
+
+namespace itm::cdn {
+
+namespace {
+
+// Deterministic 64-bit mix (splitmix finalizer) for stable pseudo-random
+// decisions keyed on ids.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+ClientMapper::ClientMapper(const topology::Topology& topo,
+                           const Deployment& deployment, MappingConfig config)
+    : topo_(&topo), deployment_(&deployment), config_(config) {
+  const routing::Bgp bgp(topo.graph);
+  routes_to_hg_.reserve(deployment.hypergiants().size());
+  for (const auto& hg : deployment.hypergiants()) {
+    routes_to_hg_.push_back(bgp.routes_to(hg.asn));
+  }
+  onnet_pops_.resize(deployment.hypergiants().size());
+  for (const auto& hg : deployment.hypergiants()) {
+    for (const PopId pid : hg.pops) {
+      if (!deployment.pop(pid).offnet) {
+        onnet_pops_[hg.id.value()].push_back(pid);
+      }
+    }
+  }
+  // Precompute anycast catchments (hot path for the traffic matrix).
+  anycast_catchment_.resize(deployment.hypergiants().size());
+  for (std::size_t g = 0; g < deployment.hypergiants().size(); ++g) {
+    auto& table = anycast_catchment_[g];
+    table.reserve(topo.graph.size());
+    for (std::size_t a = 0; a < topo.graph.size(); ++a) {
+      table.push_back(compute_anycast_site(
+          HypergiantId(static_cast<std::uint32_t>(g)),
+          Asn(static_cast<std::uint32_t>(a))));
+    }
+  }
+}
+
+std::optional<PopId> ClientMapper::offnet_override(const Service& service,
+                                                   Asn client_as) const {
+  if (!service.hypergiant || !service.offnet_cacheable) return std::nullopt;
+  const Pop* offnet = deployment_->offnet_in(*service.hypergiant, client_as);
+  if (offnet == nullptr) return std::nullopt;
+  return offnet->id;
+}
+
+MappingResult ClientMapper::finish(PopId pop, std::uint64_t flow_hash) const {
+  const Pop& p = deployment_->pop(pop);
+  MappingResult result;
+  result.pop = pop;
+  result.server_as = p.asn;
+  result.server_city = p.city;
+  result.offnet = p.offnet;
+  const auto& fes = deployment_->front_end_addresses(pop);
+  assert(!fes.empty() && "PoP has no front ends");
+  result.address = fes[mix(flow_hash) % fes.size()];
+  return result;
+}
+
+PopId ClientMapper::dns_site(const Service& service,
+                             CityId effective_city) const {
+  assert(service.hypergiant.has_value());
+  const auto& geo = topo_->geography;
+  // Find the two nearest on-net PoPs.
+  PopId best{0}, second{0};
+  double best_km = std::numeric_limits<double>::max();
+  double second_km = std::numeric_limits<double>::max();
+  bool have_best = false, have_second = false;
+  for (const PopId pid : onnet_pops_[service.hypergiant->value()]) {
+    const Pop& pop = deployment_->pop(pid);
+    const double km = geo.distance_km(pop.city, effective_city);
+    if (km < best_km) {
+      second = best;
+      second_km = best_km;
+      have_second = have_best;
+      best = pid;
+      best_km = km;
+      have_best = true;
+    } else if (km < second_km) {
+      second = pid;
+      second_km = km;
+      have_second = true;
+    }
+  }
+  assert(have_best && "hypergiant has no on-net PoPs");
+  if (!have_second) return best;
+  // Deterministic geo-mapping error: a stable fraction of (service, city)
+  // pairs map to the second-nearest site.
+  const double roll =
+      static_cast<double>(
+          mix((std::uint64_t{service.id.value()} << 32) |
+              effective_city.value()) >>
+          11) *
+      0x1.0p-53;
+  return roll < config_.geo_mapping_accuracy ? best : second;
+}
+
+PopId ClientMapper::anycast_site(HypergiantId hg, Asn client_as) const {
+  return anycast_catchment_[hg.value()][client_as.value()];
+}
+
+PopId ClientMapper::compute_anycast_site(HypergiantId hg, Asn client_as) const {
+  const auto& geo = topo_->geography;
+  const auto& graph = topo_->graph;
+  const auto& table = routes_to_hg_[hg.value()];
+  const Asn hg_asn = deployment_->hypergiant(hg).asn;
+
+  CityId ingress_city = graph.info(client_as).home_city;
+  if (client_as != hg_asn && table.at(client_as).reachable()) {
+    const Asn penultimate = table.penultimate(client_as);
+    // Where does the penultimate AS hand traffic to the hypergiant? At the
+    // interconnection facility when the link declares one, else at the
+    // penultimate's home city.
+    ingress_city = graph.info(penultimate).home_city;
+    for (const auto& nb : graph.neighbors(penultimate)) {
+      if (nb.asn != hg_asn) continue;
+      const auto& link = graph.links()[nb.link_index];
+      if (!link.facilities.empty()) {
+        ingress_city = geo.facility(link.facilities.front()).city;
+      }
+      break;
+    }
+  }
+  return deployment_->nearest_onnet_pop(hg, ingress_city, geo);
+}
+
+PopId ClientMapper::optimal_site(HypergiantId hg, CityId client_city) const {
+  return deployment_->nearest_onnet_pop(hg, client_city, topo_->geography);
+}
+
+MappingResult ClientMapper::map(const Service& service, Asn client_as,
+                                CityId client_city, CityId effective_city,
+                                std::uint64_t flow_hash,
+                                bool allow_offnet) const {
+  if (service.redirection == RedirectionKind::kSingleSite) {
+    MappingResult result;
+    result.server_as = service.origin_as;
+    result.server_city = topo_->graph.info(service.origin_as).home_city;
+    result.address = service.service_address;
+    return result;
+  }
+  if (allow_offnet) {
+    if (const auto offnet = offnet_override(service, client_as)) {
+      return finish(*offnet, flow_hash);
+    }
+  }
+  switch (service.redirection) {
+    case RedirectionKind::kDnsRedirection:
+      return finish(dns_site(service, effective_city), flow_hash);
+    case RedirectionKind::kAnycast: {
+      MappingResult result =
+          finish(anycast_site(*service.hypergiant, client_as), flow_hash);
+      result.address = service.service_address;  // data plane uses the VIP
+      return result;
+    }
+    case RedirectionKind::kCustomUrl:
+      return finish(optimal_site(*service.hypergiant, client_city),
+                    flow_hash);
+    case RedirectionKind::kSingleSite:
+      break;  // handled above
+  }
+  assert(false && "unreachable");
+  return {};
+}
+
+}  // namespace itm::cdn

@@ -1,0 +1,167 @@
+#include "cdn/services.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace itm::cdn {
+
+const char* to_string(RedirectionKind kind) {
+  switch (kind) {
+    case RedirectionKind::kDnsRedirection: return "dns-redirection";
+    case RedirectionKind::kAnycast: return "anycast";
+    case RedirectionKind::kCustomUrl: return "custom-url";
+    case RedirectionKind::kSingleSite: return "single-site";
+  }
+  return "unknown";
+}
+
+ServiceCatalog ServiceCatalog::generate(const topology::Topology& topo,
+                                        const Deployment& deployment,
+                                        const ServiceCatalogConfig& config,
+                                        Rng& rng) {
+  assert(!deployment.hypergiants().empty());
+  assert(config.p_dns_redirection + config.p_anycast <= 1.0);
+  ServiceCatalog catalog;
+  auto& services = catalog.services_;
+  services.reserve(config.num_hypergiant_services +
+                   config.num_longtail_services);
+
+  // Zipf masses within each class, scaled to the class's traffic share.
+  const auto zipf_weights = [](std::size_t n, double s, double share) {
+    std::vector<double> w(n);
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+      total += w[k];
+    }
+    for (auto& x : w) x *= share / total;
+    return w;
+  };
+  const auto hg_weights =
+      zipf_weights(config.num_hypergiant_services, config.hypergiant_zipf,
+                   config.hypergiant_traffic_share);
+  const auto lt_weights =
+      zipf_weights(config.num_longtail_services, config.longtail_zipf,
+                   1.0 - config.hypergiant_traffic_share);
+
+  // Hypergiant-hosted popular services. Bigger hypergiants host the more
+  // popular services (rank-weighted round robin over hypergiants).
+  const std::size_t num_hg = deployment.hypergiants().size();
+  // VIPs are carved from the trailing kVipReservedSlash24s content /24s of
+  // each hypergiant (front-end unicast addresses fill earlier blocks; see
+  // Deployment::build).
+  constexpr std::uint32_t kVipSlotsPerBlock = 250;
+  std::vector<std::uint32_t> vip_cursor(num_hg, 0);
+  const auto next_vip = [&](HypergiantId hg) {
+    const Asn asn = deployment.hypergiant(hg).asn;
+    const auto& addressing = topo.addresses.of(asn);
+    const std::uint32_t slot = vip_cursor[hg.value()]++;
+    const std::uint32_t block_back = slot / kVipSlotsPerBlock;
+    if (block_back >= kVipReservedSlash24s ||
+        addressing.content_slash24s <= block_back + 1) {
+      throw std::length_error(
+          "hypergiant VIP space exhausted; lower num_hypergiant_services or "
+          "raise kVipReservedSlash24s");
+    }
+    return topo.addresses
+        .content_slash24(asn, addressing.content_slash24s - 1 - block_back)
+        .address_at(2 + slot % kVipSlotsPerBlock);
+  };
+  std::vector<std::uint32_t> origin_cursor(topo.graph.size(), 0);
+  for (std::size_t rank = 0; rank < config.num_hypergiant_services; ++rank) {
+    Service s;
+    s.id = ServiceId(static_cast<std::uint32_t>(services.size()));
+    s.name = "svc-" + std::to_string(rank);
+    s.hostname = s.name + ".example";
+    const auto hg_index = HypergiantId(
+        static_cast<std::uint32_t>(rank % num_hg));
+    s.hypergiant = hg_index;
+    s.origin_as = deployment.hypergiant(hg_index).asn;
+    s.popularity = hg_weights[rank];
+
+    // The very top sites skew toward ECS-supporting DNS redirection (the
+    // paper: 15 of the top-20 support ECS); the broader catalog mixes in
+    // more anycast and custom-URL services.
+    const bool top20 = rank < 20;
+    // The top handful of sites all support ECS in practice (Google,
+    // Facebook, ... per the paper's SimilarWeb analysis).
+    const bool top5 = rank < 5;
+    const double p_dns = top5 ? 1.0 : top20 ? 0.9 : config.p_dns_redirection;
+    const double p_anycast = top20 ? 0.05 : config.p_anycast;
+    const double kind_roll = rng.uniform();
+    if (kind_roll < p_dns) {
+      s.redirection = RedirectionKind::kDnsRedirection;
+    } else if (kind_roll < p_dns + p_anycast) {
+      s.redirection = RedirectionKind::kAnycast;
+    } else {
+      s.redirection = RedirectionKind::kCustomUrl;
+      s.offnet_cacheable = true;  // custom URLs: long-lived video/static
+    }
+    if (s.redirection == RedirectionKind::kDnsRedirection) {
+      // Ranks 0-4 always support ECS, so ranks 5-19 must average
+      // (20*frac - 5)/15 unconditionally; conditioning on the 0.9
+      // DNS-redirection draw divides that out. Clamped for frac near 1.
+      const double p_rest = std::clamp(
+          (20.0 * config.top20_ecs_fraction - 5.0) / (15.0 * 0.9), 0.0, 1.0);
+      const double p_ecs = top5 ? 1.0 : top20 ? p_rest : config.p_ecs_other;
+      s.supports_ecs = rng.bernoulli(p_ecs);
+      s.offnet_cacheable = rng.bernoulli(0.5);
+    } else {
+      s.service_address = next_vip(*s.hypergiant);
+    }
+    s.dns_ttl_s = static_cast<std::uint32_t>(
+        rng.uniform_int(config.min_ttl_s, config.max_ttl_s));
+    services.push_back(std::move(s));
+  }
+
+  // Long tail hosted at content networks.
+  for (std::size_t rank = 0; rank < config.num_longtail_services; ++rank) {
+    Service s;
+    s.id = ServiceId(static_cast<std::uint32_t>(services.size()));
+    s.name = "tail-" + std::to_string(rank);
+    s.hostname = s.name + ".example";
+    s.origin_as =
+        topo.contents.empty()
+            ? topo.hypergiants.front()
+            : topo.contents[rng.next_below(topo.contents.size())];
+    s.redirection = RedirectionKind::kSingleSite;
+    s.popularity = lt_weights[rank];
+    // Origin server address in the content network's space. A hard check:
+    // clamping would silently assign the same address to two services.
+    const auto& addressing = topo.addresses.of(s.origin_as);
+    const std::uint32_t slot = origin_cursor[s.origin_as.value()]++;
+    const std::uint32_t block = slot / 200;
+    if (block >= addressing.content_slash24s) {
+      throw std::length_error(
+          "content AS origin space exhausted; raise "
+          "content_24s_per_content_as or spread the long tail wider");
+    }
+    s.service_address = topo.addresses.content_slash24(s.origin_as, block)
+                            .address_at(2 + slot % 200);
+    s.dns_ttl_s = static_cast<std::uint32_t>(
+        rng.uniform_int(config.min_ttl_s, 3600));
+    services.push_back(std::move(s));
+  }
+  return catalog;
+}
+
+const Service* ServiceCatalog::by_hostname(std::string_view hostname) const {
+  for (const auto& s : services_) {
+    if (s.hostname == hostname) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<ServiceId> ServiceCatalog::by_popularity() const {
+  std::vector<ServiceId> ids;
+  ids.reserve(services_.size());
+  for (const auto& s : services_) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end(), [this](ServiceId a, ServiceId b) {
+    return service(a).popularity > service(b).popularity;
+  });
+  return ids;
+}
+
+}  // namespace itm::cdn

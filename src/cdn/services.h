@@ -1,0 +1,106 @@
+// The catalog of web services users access, with popularity and redirection
+// metadata.
+//
+// Popular services are hosted by hypergiants and redirected to nearby front
+// ends by DNS (often with ECS), by anycast, or by per-client custom URLs;
+// a long tail of services is hosted at single content networks. Popularity
+// follows a Zipf law calibrated so a handful of hypergiants carry ~90% of
+// traffic and the top-20 services ~35% (§1, §3.2.3 of the paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/rng.h"
+#include "cdn/deployment.h"
+#include "topology/generator.h"
+
+namespace itm::cdn {
+
+enum class RedirectionKind : std::uint8_t {
+  kDnsRedirection,  // authoritative returns a nearby front end
+  kAnycast,         // one address everywhere; BGP picks the site
+  kCustomUrl,       // per-client URLs after an initial bootstrap fetch
+  kSingleSite,      // long-tail: one origin server, no redirection
+};
+
+[[nodiscard]] const char* to_string(RedirectionKind kind);
+
+struct Service {
+  ServiceId id;
+  std::string name;
+  std::string hostname;
+  // Hosting: either a hypergiant or (for the long tail) a content AS.
+  std::optional<HypergiantId> hypergiant;
+  Asn origin_as{0};
+  RedirectionKind redirection = RedirectionKind::kSingleSite;
+  // Whether the service's authoritative DNS honors EDNS0 Client Subnet.
+  bool supports_ecs = false;
+  // Relative traffic weight (catalog weights sum to 1).
+  double popularity = 0.0;
+  // TTL of the service's A records, seconds.
+  std::uint32_t dns_ttl_s = 60;
+  // Whether the content is cacheable at off-net caches (video/static).
+  bool offnet_cacheable = false;
+  // Stable service address: the anycast VIP (kAnycast), the bootstrap VIP
+  // (kCustomUrl), or the origin server (kSingleSite). Unused for
+  // kDnsRedirection, whose answers vary per client.
+  Ipv4Addr service_address;
+};
+
+struct ServiceCatalogConfig {
+  std::size_t num_hypergiant_services = 120;
+  std::size_t num_longtail_services = 200;
+  // Zipf exponents within each class.
+  double hypergiant_zipf = 0.6;
+  double longtail_zipf = 0.8;
+  // Share of total traffic carried by hypergiant-hosted services.
+  double hypergiant_traffic_share = 0.9;
+  // Among the top-20 services, fraction supporting ECS (paper: 15/20).
+  double top20_ecs_fraction = 0.75;
+  // Redirection mix for hypergiant services (must sum to <= 1; remainder
+  // is custom-URL).
+  double p_dns_redirection = 0.6;
+  double p_anycast = 0.25;
+  // ECS adoption among non-top-20 DNS-redirection services.
+  double p_ecs_other = 0.6;
+  std::uint32_t min_ttl_s = 60;
+  std::uint32_t max_ttl_s = 600;
+};
+
+class ServiceCatalog {
+ public:
+  static ServiceCatalog generate(const topology::Topology& topo,
+                                 const Deployment& deployment,
+                                 const ServiceCatalogConfig& config, Rng& rng);
+
+  [[nodiscard]] const std::vector<Service>& services() const {
+    return services_;
+  }
+  [[nodiscard]] const Service& service(ServiceId id) const {
+    return services_[id.value()];
+  }
+  [[nodiscard]] std::size_t size() const { return services_.size(); }
+
+  [[nodiscard]] const Service* by_hostname(std::string_view hostname) const;
+
+  // Services sorted by popularity, most popular first.
+  [[nodiscard]] std::vector<ServiceId> by_popularity() const;
+
+  // Sum of popularity over services satisfying a predicate.
+  template <typename Pred>
+  [[nodiscard]] double popularity_share(Pred&& pred) const {
+    double share = 0;
+    for (const auto& s : services_) {
+      if (pred(s)) share += s.popularity;
+    }
+    return share;
+  }
+
+ private:
+  std::vector<Service> services_;
+};
+
+}  // namespace itm::cdn

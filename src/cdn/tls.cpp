@@ -1,0 +1,75 @@
+#include "cdn/tls.h"
+
+namespace itm::cdn {
+
+TlsInventory TlsInventory::build(const topology::Topology& topo,
+                                 const Deployment& deployment,
+                                 const ServiceCatalog& catalog) {
+  TlsInventory inv;
+
+  // Hypergiant front ends (on-net and off-net) present the operator's
+  // infrastructure certificate.
+  for (const auto& fe : deployment.front_ends()) {
+    const Pop& pop = deployment.pop(fe.pop);
+    const auto& hg = deployment.hypergiant(fe.owner);
+    TlsEndpoint ep;
+    ep.address = fe.address;
+    ep.asn = pop.asn;
+    ep.city = pop.city;
+    ep.hypergiant = fe.owner;
+    ep.offnet = pop.offnet;
+    ep.default_cert_names = {hg.name + ".example", "*.cdn." + hg.name + ".example"};
+    inv.endpoints_.emplace(fe.address, std::move(ep));
+  }
+
+  // Service VIPs and single-site origins.
+  for (const auto& s : catalog.services()) {
+    if (s.redirection == RedirectionKind::kDnsRedirection) {
+      if (s.hypergiant) {
+        inv.hostname_to_hg_.emplace(s.hostname, s.hypergiant->value());
+      }
+      continue;
+    }
+    TlsEndpoint ep;
+    ep.address = s.service_address;
+    ep.asn = s.origin_as;
+    ep.city = topo.graph.info(s.origin_as).home_city;
+    ep.hypergiant = s.hypergiant;
+    ep.default_cert_names = {s.hostname};
+    if (s.hypergiant) {
+      const auto& hg = deployment.hypergiant(*s.hypergiant);
+      ep.city = deployment.pop(hg.pops.front()).city;
+      ep.default_cert_names.push_back(hg.name + ".example");
+      inv.hostname_to_hg_.emplace(s.hostname, s.hypergiant->value());
+    }
+    inv.hostname_to_address_.emplace(s.hostname, s.service_address);
+    inv.endpoints_.emplace(s.service_address, std::move(ep));
+  }
+  return inv;
+}
+
+const TlsEndpoint* TlsInventory::endpoint_at(Ipv4Addr address) const {
+  const auto it = endpoints_.find(address);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+bool TlsInventory::serves(Ipv4Addr address, std::string_view sni) const {
+  const TlsEndpoint* ep = endpoint_at(address);
+  if (ep == nullptr) return false;
+  // Dedicated service address?
+  const auto addr_it = hostname_to_address_.find(std::string(sni));
+  if (addr_it != hostname_to_address_.end() && addr_it->second == address) {
+    return true;
+  }
+  // CDN front ends serve every hostname their operator hosts.
+  if (ep->hypergiant) {
+    const auto hg_it = hostname_to_hg_.find(std::string(sni));
+    if (hg_it != hostname_to_hg_.end() &&
+        hg_it->second == ep->hypergiant->value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace itm::cdn

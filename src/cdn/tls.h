@@ -1,0 +1,60 @@
+// TLS endpoint inventory: which addresses answer TLS, and with which
+// certificates.
+//
+// This is the ground truth an Internet-wide TLS/SNI scanner (§3.2.2)
+// observes. Hypergiant front ends — including off-net caches inside eyeball
+// networks — present the hypergiant's infrastructure certificate, which is
+// exactly the signal [25] used to map serving infrastructure. Endpoints also
+// answer SNI handshakes for hostnames they actually serve.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/deployment.h"
+#include "cdn/services.h"
+
+namespace itm::cdn {
+
+struct TlsEndpoint {
+  Ipv4Addr address;
+  // Hosting AS of the endpoint.
+  Asn asn{0};
+  CityId city{0};
+  // Operating hypergiant, when the endpoint is CDN infrastructure.
+  std::optional<HypergiantId> hypergiant;
+  bool offnet = false;
+  // Subject names on the default (no-SNI) certificate.
+  std::vector<std::string> default_cert_names;
+};
+
+class TlsInventory {
+ public:
+  static TlsInventory build(const topology::Topology& topo,
+                            const Deployment& deployment,
+                            const ServiceCatalog& catalog);
+
+  // The endpoint at an address, if a TLS server listens there.
+  [[nodiscard]] const TlsEndpoint* endpoint_at(Ipv4Addr address) const;
+
+  // Whether the endpoint at `address` completes a handshake for `sni` —
+  // i.e., actually serves that hostname.
+  [[nodiscard]] bool serves(Ipv4Addr address, std::string_view sni) const;
+
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+  [[nodiscard]] const std::unordered_map<Ipv4Addr, TlsEndpoint>& all() const {
+    return endpoints_;
+  }
+
+ private:
+  std::unordered_map<Ipv4Addr, TlsEndpoint> endpoints_;
+  // hostname -> hypergiant (for SNI checks on CDN front ends).
+  std::unordered_map<std::string, std::uint32_t> hostname_to_hg_;
+  // hostname -> dedicated service address (VIPs, single-site origins).
+  std::unordered_map<std::string, Ipv4Addr> hostname_to_address_;
+};
+
+}  // namespace itm::cdn

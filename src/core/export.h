@@ -1,0 +1,32 @@
+// Serialization of the traffic map: JSON for programmatic consumers and CSV
+// for spreadsheet/plotting workflows. The export contains only map-derived
+// (public) data, never scenario ground truth, so a dump is exactly what a
+// real deployment could publish.
+#pragma once
+
+#include <ostream>
+
+#include "core/scenario.h"
+#include "core/traffic_map.h"
+
+namespace itm::core {
+
+// Whole-map JSON document: metadata, client prefixes/ASes with activity
+// scores, TLS endpoints, geolocated servers, recommended links.
+void export_map_json(const TrafficMap& map, const Scenario& scenario,
+                     std::ostream& os);
+
+// CSV: asn,name,activity_score (detected ASes only).
+void export_activity_csv(const TrafficMap& map, const Scenario& scenario,
+                         std::ostream& os);
+
+// CSV: address,operator,origin_asn,offnet,lat,lon (TLS endpoints; location
+// present when geolocated).
+void export_servers_csv(const TrafficMap& map, const Scenario& scenario,
+                        std::ostream& os);
+
+// CSV: asn_a,name_a,asn_b,name_b,score (recommended peering links).
+void export_recommended_links_csv(const TrafficMap& map,
+                                  const Scenario& scenario, std::ostream& os);
+
+}  // namespace itm::core

@@ -1,0 +1,78 @@
+// Small text-report helpers shared by benches and examples: fixed-width
+// tables and percentage formatting, so every experiment prints rows that are
+// easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace itm::core {
+
+inline std::string pct(double fraction, int decimals = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+inline std::string num(double value, int decimals = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+// Prints rows of equal arity with column alignment.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+           << cells[c];
+      }
+      os << "\n";
+    };
+    line(header_);
+    std::vector<std::string> dashes;
+    for (const auto w : widths) dashes.push_back(std::string(w, '-'));
+    line(dashes);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v) { return num(v); }
+  template <typename T>
+  static std::string to_cell(T v)
+    requires std::is_integral_v<T>
+  {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace itm::core

@@ -1,0 +1,101 @@
+#include "core/scenario.h"
+
+namespace itm::core {
+
+ScenarioConfig tiny_config(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.topology.geography.num_countries = 4;
+  c.topology.geography.cities_per_country = 4;
+  c.topology.num_tier1 = 4;
+  c.topology.num_transit = 10;
+  c.topology.num_access = 30;
+  c.topology.num_content = 12;
+  c.topology.num_hypergiants = 3;
+  c.topology.num_enterprise = 10;
+  c.topology.addressing.user_24s_per_access_as = 8.0;
+  c.topology.addressing.content_24s_per_hypergiant = 8.0;
+  c.services.num_hypergiant_services = 30;
+  c.services.num_longtail_services = 40;
+  c.dns.public_pop_target = 6;
+  return c;
+}
+
+ScenarioConfig default_config(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  return c;
+}
+
+ScenarioConfig large_config(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.topology.geography.num_countries = 10;
+  c.topology.geography.cities_per_country = 10;
+  c.topology.num_tier1 = 10;
+  c.topology.num_transit = 90;
+  c.topology.num_access = 600;
+  c.topology.num_content = 200;
+  c.topology.num_hypergiants = 7;
+  c.topology.num_enterprise = 200;
+  c.services.num_hypergiant_services = 150;
+  c.services.num_longtail_services = 300;
+  c.dns.public_pop_target = 20;
+  return c;
+}
+
+std::unique_ptr<Scenario> Scenario::generate(const ScenarioConfig& config) {
+  auto scenario = std::unique_ptr<Scenario>(new Scenario());
+  Scenario& s = *scenario;
+  s.config_ = config;
+  Rng root(config.seed);
+
+  Rng topo_rng = root.fork(1);
+  s.topo_ = std::make_unique<topology::Topology>(
+      topology::generate_topology(config.topology, topo_rng));
+
+  Rng deploy_rng = root.fork(2);
+  s.deployment_ = std::make_unique<cdn::Deployment>(
+      cdn::Deployment::build(*s.topo_, config.deployment, deploy_rng));
+
+  Rng service_rng = root.fork(3);
+  s.catalog_ = std::make_unique<cdn::ServiceCatalog>(cdn::ServiceCatalog::generate(
+      *s.topo_, *s.deployment_, config.services, service_rng));
+
+  s.mapper_ = std::make_unique<cdn::ClientMapper>(*s.topo_, *s.deployment_,
+                                                  config.mapping);
+
+  Rng user_rng = root.fork(4);
+  s.users_ = std::make_unique<traffic::UserBase>(
+      traffic::UserBase::build(*s.topo_, config.users, user_rng));
+
+  Rng dns_rng = root.fork(5);
+  s.dns_ = std::make_unique<dns::DnsSystem>(*s.topo_, *s.users_, *s.catalog_,
+                                            *s.mapper_, config.dns, dns_rng);
+
+  std::vector<CityId> pop_cities;
+  for (const auto& pop : s.dns_->public_pops()) {
+    pop_cities.push_back(pop.city);
+  }
+  s.matrix_ = std::make_unique<traffic::TrafficMatrix>(
+      traffic::TrafficMatrix::build(*s.topo_, *s.users_, *s.catalog_,
+                                    *s.mapper_, pop_cities, config.demand));
+
+  Rng router_rng = root.fork(6);
+  s.routers_ = std::make_unique<scan::RouterFleet>(scan::RouterFleet::build(
+      *s.topo_, *s.matrix_, config.routers, router_rng));
+
+  Rng apnic_rng = root.fork(7);
+  s.apnic_ = std::make_unique<apnic::ApnicEstimates>(apnic::ApnicEstimates::build(
+      *s.topo_, *s.users_, config.apnic, apnic_rng));
+
+  Rng pdb_rng = root.fork(8);
+  s.pdb_ = std::make_unique<topology::PeeringDb>(topology::PeeringDb::build(
+      s.topo_->graph, config.peeringdb, pdb_rng));
+
+  s.tls_ = std::make_unique<cdn::TlsInventory>(
+      cdn::TlsInventory::build(*s.topo_, *s.deployment_, *s.catalog_));
+  return scenario;
+}
+
+}  // namespace itm::core

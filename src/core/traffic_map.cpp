@@ -1,0 +1,132 @@
+#include "core/traffic_map.h"
+
+#include <algorithm>
+
+#include "scan/ecs_mapper.h"
+
+namespace itm::core {
+
+double TrafficMap::total_activity() const {
+  double total = 0;
+  for (const auto& [asn, score] : activity.by_as) total += score;
+  return total;
+}
+
+OutageImpact TrafficMap::outage_impact(Asn failed,
+                                       const topology::AddressPlan& plan) const {
+  OutageImpact impact;
+  const double total = total_activity();
+  if (total > 0) impact.activity_share = activity.score(failed) / total;
+  for (const Ipv4Prefix& p : client_prefixes) {
+    if (const auto asn = plan.origin_of(p); asn && *asn == failed) {
+      ++impact.client_prefixes;
+    }
+  }
+  // Front ends inside the failed AS, and the services mapped onto them.
+  std::unordered_set<Ipv4Addr> inside;
+  for (const auto& ep : tls.endpoints) {
+    if (ep.origin_as == failed && !ep.inferred_operator.empty()) {
+      inside.insert(ep.address);
+    }
+  }
+  impact.servers_inside = inside.size();
+  for (const auto& [service, mapping] : user_mapping) {
+    const bool affected = std::any_of(
+        mapping.begin(), mapping.end(),
+        [&](const auto& kv) { return inside.contains(kv.second); });
+    if (affected) {
+      impact.services_served_from.push_back(ServiceId(service));
+    }
+  }
+  std::sort(impact.services_served_from.begin(),
+            impact.services_served_from.end());
+  return impact;
+}
+
+TrafficMap MapBuilder::build(const MapBuildOptions& options) {
+  Scenario& s = *scenario_;
+  TrafficMap map;
+
+  // ---- Drive a day of user behaviour, probing caches along the way.
+  Workload workload(s, options.workload, s.config().seed ^ 0x17f);
+  prober_ = std::make_unique<scan::CacheProber>(
+      s.dns(), s.catalog(), options.probing, &s.topo().addresses);
+  const auto routable = s.topo().addresses.routable_slash24s();
+  for (std::size_t round = 0; round < options.probe_rounds; ++round) {
+    const SimTime at = (2 * round + 1) * options.workload.duration /
+                       (2 * options.probe_rounds);
+    workload.advance_to(at);
+    prober_->sweep(routable, at);
+  }
+  workload.finish();
+
+  // ---- Component 1: users and activity.
+  map.client_prefixes = prober_->detected_prefixes();
+  crawl_ = scan::crawl_root_logs(s.dns(), s.topo().addresses);
+  const auto root_ases = crawl_.detected_ases();
+  map.client_ases = inference::combine_detected(
+      map.client_prefixes, root_ases, s.topo().addresses);
+  map.activity = inference::combine_activity(
+      inference::activity_from_cache_hits(*prober_, s.topo().addresses),
+      inference::activity_from_root_logs(crawl_));
+
+  // ---- Component 2: services.
+  std::vector<std::string> operator_names;
+  for (const auto& hg : s.deployment().hypergiants()) {
+    operator_names.push_back(hg.name);
+  }
+  const scan::TlsScanner tls_scanner(s.tls(), s.topo().addresses);
+  map.tls = tls_scanner.sweep(operator_names);
+
+  const scan::EcsMapper ecs_mapper(s.dns().authoritative(),
+                                   s.topo().geography.cities().front().id);
+  std::size_t mapped = 0;
+  for (const ServiceId sid : s.catalog().by_popularity()) {
+    if (mapped >= options.ecs_map_services) break;
+    const auto& service = s.catalog().service(sid);
+    if (service.redirection != cdn::RedirectionKind::kDnsRedirection ||
+        !service.supports_ecs) {
+      continue;
+    }
+    map.user_mapping.emplace(sid.value(), ecs_mapper.sweep(service, routable));
+    ++mapped;
+  }
+  std::vector<const std::unordered_map<Ipv4Prefix, Ipv4Addr>*> sweeps;
+  sweeps.reserve(map.user_mapping.size());
+  for (const auto& [sid, sweep] : map.user_mapping) {
+    sweeps.push_back(&sweep);
+  }
+  // Client-side geolocation database: AS home city (public-geo accuracy).
+  const auto& topo = s.topo();
+  const inference::PrefixLocator locator =
+      [&topo](const Ipv4Prefix& prefix) -> std::optional<GeoPoint> {
+    const auto asn = topo.addresses.origin_of(prefix);
+    if (!asn) return std::nullopt;
+    return topo.geography.city(topo.graph.info(*asn).home_city).location;
+  };
+  map.server_locations = inference::geolocate_servers(sweeps, locator);
+
+  // ---- Component 3: routes.
+  const routing::Bgp bgp(topo.graph);
+  std::vector<Asn> feeders = topo.tier1s;
+  const auto n_transit_feeders = static_cast<std::size_t>(
+      options.collector_feeder_fraction *
+      static_cast<double>(topo.transits.size()));
+  for (std::size_t i = 0; i < n_transit_feeders; ++i) {
+    feeders.push_back(topo.transits[i]);
+  }
+  std::vector<Asn> destinations;
+  destinations.reserve(topo.graph.size());
+  for (const auto& as : topo.graph.ases()) destinations.push_back(as.asn);
+  map.public_view = routing::collect_public_view(bgp, feeders, destinations);
+  map.observed_graph = routing::observed_subgraph(topo.graph, map.public_view);
+
+  const inference::PeeringRecommender recommender(s.peeringdb(),
+                                                  map.observed_graph);
+  map.recommended_links = recommender.recommend(options.recommend_links);
+  map.augmented_graph =
+      inference::augment_graph(map.observed_graph, map.recommended_links);
+  return map;
+}
+
+}  // namespace itm::core

@@ -1,0 +1,217 @@
+#include "core/whatif.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace itm::core {
+
+std::vector<WhatIfReport::LinkShift> WhatIfReport::top_gaining_links(
+    const topology::AsGraph& graph, std::size_t k) const {
+  std::vector<LinkShift> shifts;
+  for (std::size_t li = 0; li < link_delta.size(); ++li) {
+    if (link_delta[li] <= 0) continue;
+    const auto& link = graph.links()[li];
+    shifts.push_back(LinkShift{link.a, link.b, link_delta[li]});
+  }
+  std::sort(shifts.begin(), shifts.end(),
+            [](const LinkShift& a, const LinkShift& b) {
+              return a.delta_bytes > b.delta_bytes;
+            });
+  if (shifts.size() > k) shifts.resize(k);
+  return shifts;
+}
+
+WhatIfReport simulate_as_failure(const Scenario& scenario, Asn failed) {
+  const auto& topo = scenario.topo();
+  // A hard check, not an assert: release builds (NDEBUG) would otherwise
+  // fall through and compute garbage mappings for a site-less hypergiant.
+  if (topo.graph.info(failed).type == topology::AsType::kHypergiant) {
+    throw std::invalid_argument(
+        "simulate_as_failure: failing a hypergiant AS is not supported "
+        "(its services would have no serving sites)");
+  }
+
+  WhatIfReport report;
+  report.failed = failed;
+  const auto& baseline = scenario.matrix();
+  report.baseline_bytes = baseline.total_bytes();
+  report.client_bytes_lost =
+      baseline.as_client_bytes(failed) / baseline.total_bytes();
+  for (const auto& svc : scenario.catalog().services()) {
+    if (svc.origin_as == failed && !svc.hypergiant) {
+      report.service_bytes_lost +=
+          baseline.service_bytes(svc.id) / baseline.total_bytes();
+    }
+  }
+
+  // Off-net bytes that were served inside the failed AS (all to its own
+  // clients, hence part of the lost traffic; reported for context).
+  const auto prefixes = scenario.users().all();
+  for (const auto& up : prefixes) {
+    if (up.asn != failed) continue;
+    for (const auto& svc : scenario.catalog().services()) {
+      if (!svc.hypergiant || !svc.offnet_cacheable) continue;
+      if (scenario.deployment().offnet_in(*svc.hypergiant, failed) ==
+          nullptr) {
+        continue;
+      }
+      const double hit = scenario.deployment()
+                             .hypergiant(*svc.hypergiant)
+                             .offnet_hit_ratio;
+      report.offnet_bytes_displaced += up.activity * svc.popularity *
+                                       scenario.config().demand.bytes_scale *
+                                       hit / baseline.total_bytes();
+    }
+  }
+
+  // ---- Rebuild the world without the failed AS's links/users/caches.
+  topology::Topology degraded;
+  degraded.geography = topo.geography;
+  degraded.graph =
+      topology::copy_graph(topo.graph, [failed](const topology::Link& link) {
+        return link.a != failed && link.b != failed;
+      });
+  degraded.ixps = topo.ixps;
+  for (auto& ixp : degraded.ixps) {
+    std::erase(ixp.members, failed);
+    std::erase(ixp.route_server_participants, failed);
+  }
+  degraded.tier1s = topo.tier1s;
+  degraded.transits = topo.transits;
+  degraded.accesses = topo.accesses;
+  degraded.contents = topo.contents;
+  degraded.hypergiants = topo.hypergiants;
+  degraded.enterprises = topo.enterprises;
+  // Address layout depends only on the (unchanged) AS list and config.
+  degraded.addresses = topology::AddressPlan::build(
+      degraded.graph, scenario.config().topology.addressing);
+
+  const auto deployment = scenario.deployment().without_as(failed);
+  const cdn::ClientMapper mapper(degraded, deployment,
+                                 scenario.config().mapping);
+  const auto users = scenario.users().without_as(failed);
+
+  std::vector<CityId> pop_cities;
+  for (const auto& pop : scenario.dns().public_pops()) {
+    pop_cities.push_back(pop.city);
+  }
+  const auto after = traffic::TrafficMatrix::build(
+      degraded, users, scenario.catalog(), mapper, pop_cities,
+      scenario.config().demand);
+  // Demand to unreachable servers (e.g. origins inside the failed AS) is
+  // still generated but undeliverable; exclude it from surviving traffic.
+  report.surviving_bytes = after.total_bytes() - after.unreachable_bytes();
+
+  // ---- Link deltas, matched by endpoints across the two graphs.
+  std::unordered_map<std::uint64_t, std::size_t> baseline_index;
+  for (std::size_t li = 0; li < topo.graph.links().size(); ++li) {
+    baseline_index.emplace(
+        asn_pair_key(topo.graph.links()[li].a, topo.graph.links()[li].b), li);
+  }
+  report.link_delta.assign(topo.graph.links().size(), 0.0);
+  for (std::size_t li = 0; li < topo.graph.links().size(); ++li) {
+    report.link_delta[li] = -baseline.link_bytes()[li];
+  }
+  const auto after_links = after.link_bytes();
+  double positive_shift = 0, after_crossings = 0;
+  for (std::size_t li = 0; li < degraded.graph.links().size(); ++li) {
+    const auto& link = degraded.graph.links()[li];
+    const auto it = baseline_index.find(asn_pair_key(link.a, link.b));
+    assert(it != baseline_index.end());
+    report.link_delta[it->second] += after_links[li];
+    after_crossings += after_links[li];
+  }
+  for (const double d : report.link_delta) {
+    if (d > 0) positive_shift += d;
+  }
+  report.link_load_shifted =
+      after_crossings > 0 ? positive_shift / after_crossings : 0.0;
+  return report;
+}
+
+std::vector<WhatIfReport::LinkShift> LinkFailureReport::top_gaining_links(
+    const topology::AsGraph& graph, std::size_t k) const {
+  std::vector<WhatIfReport::LinkShift> shifts;
+  for (std::size_t li = 0; li < link_delta.size(); ++li) {
+    if (link_delta[li] <= 0) continue;
+    const auto& link = graph.links()[li];
+    shifts.push_back(
+        WhatIfReport::LinkShift{link.a, link.b, link_delta[li]});
+  }
+  std::sort(shifts.begin(), shifts.end(),
+            [](const auto& x, const auto& y) {
+              return x.delta_bytes > y.delta_bytes;
+            });
+  if (shifts.size() > k) shifts.resize(k);
+  return shifts;
+}
+
+LinkFailureReport simulate_link_failure(const Scenario& scenario,
+                                        std::size_t link_index) {
+  const auto& topo = scenario.topo();
+  assert(link_index < topo.graph.links().size());
+  const auto& baseline = scenario.matrix();
+
+  LinkFailureReport report;
+  const auto& cut = topo.graph.links()[link_index];
+  report.a = cut.a;
+  report.b = cut.b;
+  report.link_bytes_before = baseline.link_bytes()[link_index];
+
+  // Rebuild the world without this single link.
+  const auto& cut_link = topo.graph.links()[link_index];
+  topology::Topology degraded;
+  degraded.geography = topo.geography;
+  degraded.graph = topology::copy_graph(
+      topo.graph, [&cut_link](const topology::Link& link) {
+        return &link != &cut_link;
+      });
+  degraded.ixps = topo.ixps;
+  degraded.tier1s = topo.tier1s;
+  degraded.transits = topo.transits;
+  degraded.accesses = topo.accesses;
+  degraded.contents = topo.contents;
+  degraded.hypergiants = topo.hypergiants;
+  degraded.enterprises = topo.enterprises;
+  degraded.addresses = topology::AddressPlan::build(
+      degraded.graph, scenario.config().topology.addressing);
+
+  const cdn::ClientMapper mapper(degraded, scenario.deployment(),
+                                 scenario.config().mapping);
+  std::vector<CityId> pop_cities;
+  for (const auto& pop : scenario.dns().public_pops()) {
+    pop_cities.push_back(pop.city);
+  }
+  const auto after = traffic::TrafficMatrix::build(
+      degraded, scenario.users(), scenario.catalog(), mapper, pop_cities,
+      scenario.config().demand);
+
+  report.bytes_disconnected =
+      (after.unreachable_bytes() - baseline.unreachable_bytes()) /
+      baseline.total_bytes();
+
+  // Link deltas: the degraded graph has the same links minus one, in order.
+  report.link_delta.assign(topo.graph.links().size(), 0.0);
+  const auto after_links = after.link_bytes();
+  double positive_shift = 0, after_crossings = 0;
+  for (std::size_t li = 0, di = 0; li < topo.graph.links().size(); ++li) {
+    if (li == link_index) {
+      report.link_delta[li] = -baseline.link_bytes()[li];
+      continue;
+    }
+    report.link_delta[li] =
+        after_links[di] - baseline.link_bytes()[li];
+    after_crossings += after_links[di];
+    ++di;
+  }
+  for (const double d : report.link_delta) {
+    if (d > 0) positive_shift += d;
+  }
+  report.link_load_shifted =
+      after_crossings > 0 ? positive_shift / after_crossings : 0.0;
+  return report;
+}
+
+}  // namespace itm::core

@@ -1,0 +1,74 @@
+// What-if analysis: ground-truth simulation of an AS failure.
+//
+// The TrafficMap *estimates* outage impact from public data
+// (TrafficMap::outage_impact); this module computes what actually happens
+// when an AS goes dark — clients offline, off-net caches lost, services
+// unreachable, traffic re-routed over the surviving topology — so benches
+// can score the map's estimates and operators can study mitigation.
+// The failed AS keeps its node (dense ASNs stay valid) but loses every link,
+// its users, its hosted caches and its origin servers.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace itm::core {
+
+struct WhatIfReport {
+  Asn failed{0};
+  // Share of baseline bytes whose client is inside the failed AS (offline).
+  double client_bytes_lost = 0.0;
+  // Share of baseline bytes to services whose only origin was inside.
+  double service_bytes_lost = 0.0;
+  // Share of baseline bytes that used to be served from off-net caches
+  // inside the failed AS and now travel to on-net sites.
+  double offnet_bytes_displaced = 0.0;
+  // Load-shift index: sum of positive per-link load increases divided by
+  // the surviving link-crossing volume — how much of the surviving traffic
+  // had to move onto different interconnects.
+  double link_load_shifted = 0.0;
+  // Total bytes before and after (after excludes lost traffic).
+  double baseline_bytes = 0.0;
+  double surviving_bytes = 0.0;
+  // Per-link load delta (indexed like AsGraph::links() of the baseline
+  // graph), for spotting which interconnects absorb the shift.
+  std::vector<double> link_delta;
+
+  struct LinkShift {
+    Asn a{0};
+    Asn b{0};
+    double delta_bytes = 0.0;
+  };
+  // Largest load increases, descending.
+  [[nodiscard]] std::vector<LinkShift> top_gaining_links(
+      const topology::AsGraph& graph, std::size_t k = 10) const;
+};
+
+// Simulates the hard failure of `failed` and returns the ground-truth
+// impact. Cost: one topology copy plus one traffic-matrix rebuild.
+[[nodiscard]] WhatIfReport simulate_as_failure(const Scenario& scenario,
+                                               Asn failed);
+
+struct LinkFailureReport {
+  Asn a{0};
+  Asn b{0};
+  // Bytes the link carried before the failure.
+  double link_bytes_before = 0.0;
+  // Share of baseline bytes left with no route after the cut (single-homed
+  // customers behind the link).
+  double bytes_disconnected = 0.0;
+  // Load-shift index over surviving links (as in WhatIfReport).
+  double link_load_shifted = 0.0;
+  std::vector<double> link_delta;  // indexed like the baseline links
+  [[nodiscard]] std::vector<WhatIfReport::LinkShift> top_gaining_links(
+      const topology::AsGraph& graph, std::size_t k = 10) const;
+};
+
+// Simulates cutting one AS-level link (e.g. a congested/failed
+// interconnect, the paper's "each congested interconnect impacts the same
+// amount of traffic" fallacy) and reports the ground-truth impact.
+[[nodiscard]] LinkFailureReport simulate_link_failure(
+    const Scenario& scenario, std::size_t link_index);
+
+}  // namespace itm::core

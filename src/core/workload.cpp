@@ -1,0 +1,93 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itm::core {
+
+Workload::Workload(Scenario& scenario, const WorkloadConfig& config,
+                   std::uint64_t seed)
+    : scenario_(&scenario), config_(config), rng_(seed ^ 0x5eedf00dull) {
+  const auto& users = scenario.users();
+  const auto& catalog = scenario.catalog();
+  const auto& geo = scenario.topo().geography;
+
+  // Top services by popularity, with a sampling CDF over them.
+  const auto ranked = catalog.by_popularity();
+  const std::size_t n =
+      std::min(config.top_services, ranked.size());
+  top_services_.assign(ranked.begin(), ranked.begin() + static_cast<long>(n));
+  std::vector<double> cdf(n);
+  double top_share = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    top_share += catalog.service(top_services_[i]).popularity;
+    cdf[i] = top_share;
+  }
+  for (auto& c : cdf) c /= top_share;
+
+  const double day_fraction =
+      static_cast<double>(config.duration) / kSecondsPerDay;
+  constexpr double kDiurnalMax = 1.8;  // rejection-sampling envelope
+
+  const auto prefixes = users.all();
+  for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
+    const auto& up = prefixes[pi];
+    const double lon = geo.city(up.city).location.lon_deg;
+
+    // DNS resolution events for top services.
+    const double expected =
+        up.activity * config.queries_per_activity * top_share * day_fraction;
+    const std::uint64_t count = rng_.poisson(expected);
+    for (std::uint64_t q = 0; q < count; ++q) {
+      // Diurnal inhomogeneous Poisson via thinning.
+      std::uint32_t t;
+      do {
+        t = static_cast<std::uint32_t>(rng_.next_below(config.duration));
+      } while (rng_.uniform() * kDiurnalMax > diurnal_at(t, lon));
+      const double u = rng_.uniform();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      const auto service =
+          static_cast<std::int32_t>(it - cdf.begin());
+      events_.push_back(Event{t, static_cast<std::uint32_t>(pi), service, 1});
+    }
+
+    // Hourly Chromium browser-start batches.
+    const double sessions_per_day =
+        up.users * config.sessions_per_user * up.chromium_share;
+    for (SimTime hour = 0; hour + kSecondsPerHour <= config.duration;
+         hour += kSecondsPerHour) {
+      const double rate = sessions_per_day / 24.0 *
+                          diurnal_at(hour + kSecondsPerHour / 2, lon);
+      const std::uint64_t sessions = rng_.poisson(rate);
+      if (sessions == 0) continue;
+      events_.push_back(Event{
+          static_cast<std::uint32_t>(hour + rng_.next_below(kSecondsPerHour)),
+          static_cast<std::uint32_t>(pi), kChromium,
+          static_cast<std::uint32_t>(sessions)});
+    }
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+void Workload::advance_to(SimTime t) {
+  auto& dns = scenario_->dns();
+  const auto& users = scenario_->users();
+  const auto& catalog = scenario_->catalog();
+  const auto prefixes = users.all();
+  while (cursor_ < events_.size() && events_[cursor_].time < t) {
+    const Event& e = events_[cursor_++];
+    const auto& up = prefixes[e.prefix_index];
+    if (e.service == kChromium) {
+      dns.chromium_probe(up, e.count * config_.probes_per_session, e.time,
+                         rng_);
+    } else {
+      const auto& service =
+          catalog.service(top_services_[static_cast<std::size_t>(e.service)]);
+      dns.resolve(up, service, e.time, rng_);
+    }
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace itm::core

@@ -1,0 +1,65 @@
+// Workload driver: one simulated day of client behaviour.
+//
+// Generates a time-ordered stream of DNS resolution events (per user /24,
+// service sampled by popularity, diurnally modulated by the prefix's local
+// time) and hourly Chromium browser-start batches (which trigger root-DNS
+// probe queries). Measurement code interleaves with the stream by calling
+// advance_to() before reading DNS cache or root-log state, reproducing a
+// real measurement day where probing races against TTL expiry.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "net/sim_time.h"
+
+namespace itm::core {
+
+struct WorkloadConfig {
+  // Expected DNS queries per unit of prefix activity per day. The default
+  // makes a median prefix resolve popular names a few times per TTL.
+  double queries_per_activity = 8.0;
+  // Browser starts per user per day (each triggers 3 root probes).
+  double sessions_per_user = 2.0;
+  // Only the N most popular services generate simulated queries (the tail
+  // adds cost but no measurement signal).
+  std::size_t top_services = 48;
+  SimTime duration = kSecondsPerDay;
+  // Chromium probes per browser start (Chromium issues 3 random labels).
+  std::uint32_t probes_per_session = 3;
+};
+
+class Workload {
+ public:
+  Workload(Scenario& scenario, const WorkloadConfig& config,
+           std::uint64_t seed);
+
+  // Processes all events with time < t (idempotent for earlier t).
+  void advance_to(SimTime t);
+  // Processes the remainder of the day.
+  void finish() { advance_to(config_.duration + 1); }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t total_events() const { return events_.size(); }
+  [[nodiscard]] std::size_t processed_events() const { return cursor_; }
+
+ private:
+  struct Event {
+    std::uint32_t time;
+    std::uint32_t prefix_index;
+    // Service index into the sampled top list, or kChromium.
+    std::int32_t service;
+    std::uint32_t count;  // batch size (Chromium batches)
+  };
+  static constexpr std::int32_t kChromium = -1;
+
+  Scenario* scenario_;
+  WorkloadConfig config_;
+  Rng rng_;
+  std::vector<Event> events_;
+  std::vector<ServiceId> top_services_;
+  std::size_t cursor_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace itm::core

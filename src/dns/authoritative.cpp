@@ -1,0 +1,74 @@
+#include "dns/authoritative.h"
+
+#include "dns/cache.h"
+
+namespace itm::dns {
+
+AuthoritativeDns::AuthoritativeDns(const topology::Topology& topo,
+                                   const traffic::UserBase& users,
+                                   const cdn::ServiceCatalog& catalog,
+                                   const cdn::ClientMapper& mapper)
+    : topo_(&topo), users_(&users), catalog_(&catalog), mapper_(&mapper) {}
+
+CityId AuthoritativeDns::locate_prefix(const Ipv4Prefix& slash24) const {
+  if (const auto* up = users_->find(slash24)) return up->city;
+  if (const auto asn = topo_->addresses.origin_of(slash24)) {
+    return topo_->graph.info(*asn).home_city;
+  }
+  return CityId(0);
+}
+
+AuthoritativeAnswer AuthoritativeDns::answer(const cdn::Service& service,
+                                             std::optional<Ipv4Prefix> ecs,
+                                             CityId resolver_city,
+                                             std::optional<Asn> resolver_as)
+    const {
+  AuthoritativeAnswer out;
+  out.ttl_s = service.dns_ttl_s;
+  switch (service.redirection) {
+    case cdn::RedirectionKind::kAnycast:
+    case cdn::RedirectionKind::kCustomUrl:
+    case cdn::RedirectionKind::kSingleSite:
+      out.address = service.service_address;
+      out.cache_scope = DnsCache::kGlobalScope;
+      return out;
+    case cdn::RedirectionKind::kDnsRedirection:
+      break;
+  }
+  const bool use_ecs = service.supports_ecs && ecs.has_value();
+  const CityId effective = use_ecs ? locate_prefix(*ecs) : resolver_city;
+
+  // For cacheable content, clients inside an ISP that hosts the operator's
+  // off-net cache are directed to it (Netflix-OCA/Akamai-AANP style). The
+  // client AS is inferred from the ECS prefix when present, else from the
+  // resolver's address.
+  if (service.offnet_cacheable && service.hypergiant) {
+    std::optional<Asn> client_as = resolver_as;
+    if (use_ecs) client_as = topo_->addresses.origin_of(*ecs);
+    if (client_as) {
+      if (const auto* offnet = mapper_->deployment().offnet_in(
+              *service.hypergiant, *client_as)) {
+        const auto& fes =
+            mapper_->deployment().front_end_addresses(offnet->id);
+        const std::uint64_t h = (std::uint64_t{service.id.value()} << 32) |
+                                client_as->value();
+        out.address = fes[h % fes.size()];
+        out.cache_scope =
+            use_ecs ? DnsCache::scope_of(*ecs) : DnsCache::kGlobalScope;
+        return out;
+      }
+    }
+  }
+
+  const PopId pop = mapper_->dns_site(service, effective);
+  const auto& fes = mapper_->deployment().front_end_addresses(pop);
+  // Deterministic per (service, city) front-end choice keeps answers stable
+  // within a TTL, like a real load balancer with consistent hashing.
+  const std::uint64_t h =
+      (std::uint64_t{service.id.value()} << 32) | effective.value();
+  out.address = fes[h % fes.size()];
+  out.cache_scope = use_ecs ? DnsCache::scope_of(*ecs) : DnsCache::kGlobalScope;
+  return out;
+}
+
+}  // namespace itm::dns

@@ -1,0 +1,54 @@
+// Authoritative DNS behaviour for every service in the catalog.
+//
+// For DNS-redirected services the answer depends on where the client appears
+// to be: the ECS prefix when the resolver forwards one and the service
+// honors ECS, otherwise the recursive resolver's own location — the bias
+// that makes public-resolver users of non-ECS services land on distant
+// front ends.
+#pragma once
+
+#include <optional>
+
+#include "cdn/mapping.h"
+#include "cdn/services.h"
+#include "traffic/user_base.h"
+
+namespace itm::dns {
+
+struct AuthoritativeAnswer {
+  Ipv4Addr address;
+  std::uint32_t ttl_s = 60;
+  // Scope the answer may be cached under (kGlobalScope when no ECS echo).
+  std::uint32_t cache_scope = 0;
+};
+
+class AuthoritativeDns {
+ public:
+  AuthoritativeDns(const topology::Topology& topo,
+                   const traffic::UserBase& users,
+                   const cdn::ServiceCatalog& catalog,
+                   const cdn::ClientMapper& mapper);
+
+  // Answers a recursive resolver's query.
+  // `ecs`: client /24 included by the resolver (nullopt when not sent).
+  // `resolver_city`: where the querying resolver is.
+  // `resolver_as`: origin AS of the resolver address, when known — used
+  // (like real CDN mapping systems) to hand out an off-net cache inside the
+  // client's ISP for cacheable content.
+  [[nodiscard]] AuthoritativeAnswer answer(
+      const cdn::Service& service, std::optional<Ipv4Prefix> ecs,
+      CityId resolver_city, std::optional<Asn> resolver_as = {}) const;
+
+  // Best-effort geolocation of a client prefix as the authoritative's
+  // mapping database would see it (ground truth for user prefixes, the
+  // origin AS's home city otherwise).
+  [[nodiscard]] CityId locate_prefix(const Ipv4Prefix& slash24) const;
+
+ private:
+  const topology::Topology* topo_;
+  const traffic::UserBase* users_;
+  const cdn::ServiceCatalog* catalog_;
+  const cdn::ClientMapper* mapper_;
+};
+
+}  // namespace itm::dns

@@ -1,0 +1,63 @@
+// Resolver cache with TTL and EDNS0-Client-Subnet scoping.
+//
+// Entries are keyed by (service, scope): ECS-aware answers are cached per
+// client /24 scope, non-ECS answers under a shared global scope. This is the
+// mechanism DNS cache probing (§3.1.2) exploits: a non-recursive ECS query
+// for prefix P hits only if a client in P recently resolved the name at the
+// same cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "net/sim_time.h"
+
+namespace itm::dns {
+
+class DnsCache {
+ public:
+  // Sentinel scope for answers not scoped to a client subnet.
+  static constexpr std::uint32_t kGlobalScope = 0xffffffu;
+
+  static std::uint32_t scope_of(const Ipv4Prefix& slash24) {
+    return slash24.base().bits() >> 8;
+  }
+
+  void insert(ServiceId service, std::uint32_t scope, Ipv4Addr answer,
+              SimTime expiry) {
+    entries_[key(service, scope)] = Entry{answer, expiry};
+  }
+
+  [[nodiscard]] std::optional<Ipv4Addr> lookup(ServiceId service,
+                                               std::uint32_t scope,
+                                               SimTime now) const {
+    const auto it = entries_.find(key(service, scope));
+    if (it == entries_.end() || it->second.expiry <= now) return std::nullopt;
+    return it->second.answer;
+  }
+
+  // Removes expired entries (call occasionally to bound memory).
+  void purge(SimTime now) {
+    std::erase_if(entries_,
+                  [now](const auto& kv) { return kv.second.expiry <= now; });
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Ipv4Addr answer;
+    SimTime expiry = 0;
+  };
+
+  static std::uint64_t key(ServiceId service, std::uint32_t scope) {
+    return (std::uint64_t{service.value()} << 24) | scope;
+  }
+
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace itm::dns

@@ -1,0 +1,33 @@
+#include "dns/root.h"
+
+namespace itm::dns {
+
+void RootSystem::record(Ipv4Addr resolver, std::uint64_t count, Rng& rng) {
+  if (letter_logs_.empty()) {
+    letter_logs_.resize(config_.letters);
+    letter_usable_.resize(config_.letters, false);
+    for (std::size_t i = 0; i < config_.letters; ++i) {
+      const bool open = i < config_.open_letters;
+      letter_usable_[i] =
+          open && !rng.bernoulli(config_.anonymized_fraction);
+    }
+  }
+  total_ += count;
+  for (std::uint64_t q = 0; q < count; ++q) {
+    const std::size_t letter = rng.next_below(config_.letters);
+    ++letter_logs_[letter][resolver];
+  }
+}
+
+std::unordered_map<Ipv4Addr, std::uint64_t> RootSystem::crawl() const {
+  std::unordered_map<Ipv4Addr, std::uint64_t> out;
+  for (std::size_t i = 0; i < letter_logs_.size(); ++i) {
+    if (!letter_usable_[i]) continue;
+    for (const auto& [resolver, count] : letter_logs_[i]) {
+      out[resolver] += count;
+    }
+  }
+  return out;
+}
+
+}  // namespace itm::dns

@@ -1,0 +1,53 @@
+// Root DNS servers and their query logs.
+//
+// Chromium-style random-label probes never hit resolver caches, so they
+// reach a root letter and appear in its logs keyed by the *recursive
+// resolver's* address — the paper's §3.1.2 "crawling DNS logs" signal. Only
+// some letters are operated by research organizations with accessible logs,
+// and some anonymize sources; both limits are modeled.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "net/rng.h"
+
+namespace itm::dns {
+
+struct RootConfig {
+  // Total root letters; queries spread uniformly across them.
+  std::size_t letters = 13;
+  // Letters whose logs researchers can crawl.
+  std::size_t open_letters = 3;
+  // Fraction of open-letter logs with anonymized (unusable) sources.
+  double anonymized_fraction = 0.2;
+};
+
+class RootSystem {
+ public:
+  explicit RootSystem(const RootConfig& config) : config_(config) {}
+
+  // Records `count` queries from a resolver; each query independently lands
+  // on a random letter.
+  void record(Ipv4Addr resolver, std::uint64_t count, Rng& rng);
+
+  // The crawlable view: per-resolver query counts aggregated over open,
+  // non-anonymized letters.
+  [[nodiscard]] std::unordered_map<Ipv4Addr, std::uint64_t> crawl() const;
+
+  [[nodiscard]] std::uint64_t total_queries() const { return total_; }
+  [[nodiscard]] const RootConfig& config() const { return config_; }
+
+ private:
+  RootConfig config_;
+  // Per-letter logs: resolver -> count.
+  std::vector<std::unordered_map<Ipv4Addr, std::uint64_t>> letter_logs_;
+  // Decided lazily and deterministically on first record().
+  std::vector<bool> letter_usable_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace itm::dns

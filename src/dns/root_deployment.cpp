@@ -1,0 +1,53 @@
+#include "dns/root_deployment.h"
+
+#include <cassert>
+
+namespace itm::dns {
+
+RootDeployment RootDeployment::build(const topology::Topology& topo,
+                                     const RootDeploymentConfig& config,
+                                     Rng& rng) {
+  RootDeployment deployment;
+  // Root instances predominantly connect at IXPs (hosted instances behind
+  // route-server participants) — the reason their paths cross invisible
+  // peering; a minority sit behind carriers/transit.
+  std::vector<Asn> ixp_hosts;
+  for (const auto& ixp : topo.ixps) {
+    for (const Asn asn : ixp.route_server_participants) {
+      ixp_hosts.push_back(asn);
+    }
+  }
+  std::vector<Asn> carrier_hosts = topo.tier1s;
+  carrier_hosts.insert(carrier_hosts.end(), topo.transits.begin(),
+                       topo.transits.end());
+  if (ixp_hosts.empty()) ixp_hosts = carrier_hosts;  // IXP-free topologies
+  assert(!carrier_hosts.empty());
+
+  for (std::size_t letter = 0; letter < config.letters; ++letter) {
+    RootLetter entry;
+    entry.index = letter;
+    entry.name = std::string(1, static_cast<char>('A' + letter)) + "-root";
+    const std::size_t sites = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_sites),
+        static_cast<std::int64_t>(config.max_sites)));
+    for (std::size_t s = 0; s < sites; ++s) {
+      const auto& pool = rng.bernoulli(0.9) ? ixp_hosts : carrier_hosts;
+      const Asn host = pool[rng.next_below(pool.size())];
+      if (std::find(entry.site_hosts.begin(), entry.site_hosts.end(), host) ==
+          entry.site_hosts.end()) {
+        entry.site_hosts.push_back(host);
+      }
+    }
+    deployment.letters_.push_back(std::move(entry));
+  }
+  return deployment;
+}
+
+routing::RouteTable RootDeployment::catchment(const topology::Topology& topo,
+                                              std::size_t letter) const {
+  assert(letter < letters_.size());
+  const routing::Bgp bgp(topo.graph);
+  return bgp.routes_to_set(letters_[letter].site_hosts);
+}
+
+}  // namespace itm::dns

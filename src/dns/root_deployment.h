@@ -1,0 +1,54 @@
+// Root DNS letter deployments: each of the 13 letters is anycast from
+// several sites hosted in different networks (operators range from tier-1
+// carriers to research institutions). Which site a query reaches is decided
+// by BGP among the hosting ASes — multi-origin anycast, computed with
+// routing::Bgp::routes_to_set.
+//
+// This is the destination set of the paper's motivating §3.3.1 experiment
+// ("when we tried to predict paths from RIPE Atlas probes to root DNS
+// servers, more than half could not be predicted").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/rng.h"
+#include "routing/bgp.h"
+#include "topology/generator.h"
+
+namespace itm::dns {
+
+struct RootLetter {
+  std::size_t index = 0;       // 0 = 'A', ...
+  std::string name;            // "A-root"
+  std::vector<Asn> site_hosts; // ASes announcing the letter's prefix
+};
+
+struct RootDeploymentConfig {
+  std::size_t letters = 13;
+  // Sites per letter (small letters have a handful, large ones dozens —
+  // real letters range from a few to hundreds of instances).
+  std::size_t min_sites = 4;
+  std::size_t max_sites = 18;
+};
+
+class RootDeployment {
+ public:
+  static RootDeployment build(const topology::Topology& topo,
+                              const RootDeploymentConfig& config, Rng& rng);
+
+  [[nodiscard]] const std::vector<RootLetter>& letters() const {
+    return letters_;
+  }
+
+  // Anycast routing for one letter: best route from every AS to the
+  // nearest (in BGP policy terms) site; entry.origin_index identifies the
+  // winning site within the letter's site_hosts.
+  [[nodiscard]] routing::RouteTable catchment(
+      const topology::Topology& topo, std::size_t letter) const;
+
+ private:
+  std::vector<RootLetter> letters_;
+};
+
+}  // namespace itm::dns

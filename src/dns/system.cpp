@@ -1,0 +1,202 @@
+#include "dns/system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "net/geo.h"
+
+namespace itm::dns {
+
+DnsSystem::DnsSystem(const topology::Topology& topo,
+                     const traffic::UserBase& users,
+                     const cdn::ServiceCatalog& catalog,
+                     const cdn::ClientMapper& mapper, const DnsConfig& config,
+                     Rng& rng)
+    : topo_(&topo),
+      authoritative_(topo, users, catalog, mapper),
+      config_(config),
+      roots_(config.root) {
+  (void)rng;
+  const auto& geo = topo.geography;
+
+  // Public PoPs: main city of every country by user share, then second
+  // cities of the largest countries, until the target count.
+  std::vector<CountryId> by_share;
+  for (const auto& c : geo.countries()) by_share.push_back(c.id);
+  std::sort(by_share.begin(), by_share.end(), [&](CountryId a, CountryId b) {
+    return geo.country(a).user_share > geo.country(b).user_share;
+  });
+  std::vector<CityId> pop_cities;
+  for (const CountryId c : by_share) {
+    if (pop_cities.size() >= config.public_pop_target) break;
+    pop_cities.push_back(geo.country(c).cities.front());
+  }
+  for (const CountryId c : by_share) {
+    if (pop_cities.size() >= config.public_pop_target) break;
+    if (geo.country(c).cities.size() > 1) {
+      pop_cities.push_back(geo.country(c).cities[1]);
+    }
+  }
+
+  // The public resolver is operated by the first hypergiant (its addresses
+  // come from that AS's infrastructure /24, so root logs attribute its
+  // queries to the hypergiant's AS — the coverage gap of §3.1.2 approach 2).
+  assert(!topo.hypergiants.empty());
+  const Asn operator_as = topo.hypergiants.front();
+  const auto infra = topo.addresses.of(operator_as).infra_slash24;
+  for (std::size_t i = 0; i < pop_cities.size(); ++i) {
+    pops_.push_back(PublicPop{pop_cities[i],
+                              infra.address_at(100 + i)});
+  }
+  pop_caches_.resize(pops_.size());
+
+  // Precompute the anycast catchment (nearest PoP) for every city.
+  nearest_pop_.resize(geo.cities().size(), 0);
+  for (const auto& city : geo.cities()) {
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t p = 0; p < pops_.size(); ++p) {
+      const double km = geo.distance_km(city.id, pops_[p].city);
+      if (km < best) {
+        best = km;
+        nearest_pop_[city.id.value()] = p;
+      }
+    }
+  }
+
+  // Recursive resolvers for access networks: larger networks run their own;
+  // the rest forward to their (first) transit provider's resolver.
+  const auto resolver_address_of = [&](Asn asn) {
+    return topo.addresses.of(asn).infra_slash24.address_at(53);
+  };
+  for (const Asn asn : topo.accesses) {
+    const auto& info = topo.graph.info(asn);
+    const double p_own =
+        std::min(config.own_resolver_cap,
+                 config.own_resolver_base +
+                     config.own_resolver_size_boost * info.size_factor);
+    Asn resolver_as = asn;
+    if (!rng.bernoulli(p_own)) {
+      for (const auto& nb : topo.graph.neighbors(asn)) {
+        if (nb.relation == topology::Relation::kProvider) {
+          resolver_as = nb.asn;
+          break;
+        }
+      }
+    }
+    const Ipv4Addr addr = resolver_address_of(resolver_as);
+    resolver_of_as_.emplace(asn.value(), addr);
+    isp_resolvers_.try_emplace(
+        addr, IspResolver{topo.graph.info(resolver_as).home_city,
+                          resolver_as,
+                          {}});
+  }
+}
+
+Ipv4Addr DnsSystem::isp_resolver_address(Asn asn) const {
+  const auto it = resolver_of_as_.find(asn.value());
+  assert(it != resolver_of_as_.end() && "AS has no ISP resolver");
+  return it->second;
+}
+
+bool DnsSystem::runs_own_resolver(Asn asn) const {
+  const auto it = resolver_of_as_.find(asn.value());
+  if (it == resolver_of_as_.end()) return false;
+  return topo_->addresses.of(asn).infra_slash24.contains(it->second);
+}
+
+DnsSystem::ResolveResult DnsSystem::resolve(const traffic::UserPrefix& up,
+                                            const cdn::Service& service,
+                                            SimTime now, Rng& rng) {
+  ++stats_.queries;
+  ResolveResult result;
+  result.used_public = rng.bernoulli(up.public_dns_share);
+  // Page-embedded measurement sampling: observes which resolver this client
+  // uses (client identity at AS granularity, as real deployments report).
+  if (config_.association_sample_rate > 0 &&
+      rng.bernoulli(config_.association_sample_rate)) {
+    const Ipv4Addr resolver_addr =
+        result.used_public ? pops_[nearest_pop_[up.city.value()]].address
+                           : isp_resolver_address(up.asn);
+    ++associations_[resolver_addr][up.asn.value()];
+  }
+  if (result.used_public) {
+    ++stats_.public_queries;
+    const std::size_t pop = nearest_pop_[up.city.value()];
+    result.public_pop = pop;
+    DnsCache& cache = pop_caches_[pop];
+    const std::uint32_t scope = service.supports_ecs
+                                    ? DnsCache::scope_of(up.prefix)
+                                    : DnsCache::kGlobalScope;
+    if (const auto cached = cache.lookup(service.id, scope, now)) {
+      ++stats_.public_hits;
+      result.cache_hit = true;
+      result.answer = *cached;
+      return result;
+    }
+    // Miss: the public resolver queries the authoritative, forwarding the
+    // client subnet (services that ignore ECS answer by the PoP's location).
+    const auto ans = authoritative_.answer(
+        service,
+        service.supports_ecs ? std::optional<Ipv4Prefix>(up.prefix)
+                             : std::nullopt,
+        pops_[pop].city);
+    const SimTime expiry =
+        now + std::min<std::uint32_t>(ans.ttl_s, config_.max_cache_ttl_s);
+    cache.insert(service.id, ans.cache_scope, ans.address, expiry);
+    result.answer = ans.address;
+    return result;
+  }
+
+  // ISP resolver path: shared resolver cache (own or provider's), no ECS
+  // upstream.
+  auto it = isp_resolvers_.find(isp_resolver_address(up.asn));
+  assert(it != isp_resolvers_.end());
+  IspResolver& resolver = it->second;
+  if (const auto cached =
+          resolver.cache.lookup(service.id, DnsCache::kGlobalScope, now)) {
+    ++stats_.isp_hits;
+    result.cache_hit = true;
+    result.answer = *cached;
+    return result;
+  }
+  const auto ans = authoritative_.answer(service, std::nullopt,
+                                         resolver.city, resolver.host);
+  resolver.cache.insert(service.id, DnsCache::kGlobalScope, ans.address,
+                        now + ans.ttl_s);
+  result.answer = ans.address;
+  return result;
+}
+
+void DnsSystem::chromium_probe(const traffic::UserPrefix& up,
+                               std::uint64_t queries, SimTime now, Rng& rng) {
+  (void)now;
+  // Random-label queries never hit resolver caches; the resolver forwards
+  // them to a root, which logs the resolver's address.
+  const bool via_public = rng.bernoulli(up.public_dns_share);
+  Ipv4Addr resolver_addr;
+  if (via_public) {
+    resolver_addr = pops_[nearest_pop_[up.city.value()]].address;
+  } else {
+    resolver_addr = isp_resolver_address(up.asn);
+  }
+  roots_.record(resolver_addr, queries, rng);
+}
+
+std::optional<Ipv4Addr> DnsSystem::probe_cache(std::size_t pop_index,
+                                               const cdn::Service& service,
+                                               const Ipv4Prefix& slash24,
+                                               SimTime now) const {
+  assert(pop_index < pops_.size());
+  const std::uint32_t scope = service.supports_ecs
+                                  ? DnsCache::scope_of(slash24)
+                                  : DnsCache::kGlobalScope;
+  return pop_caches_[pop_index].lookup(service.id, scope, now);
+}
+
+void DnsSystem::purge(SimTime now) {
+  for (auto& cache : pop_caches_) cache.purge(now);
+  for (auto& [addr, resolver] : isp_resolvers_) resolver.cache.purge(now);
+}
+
+}  // namespace itm::dns

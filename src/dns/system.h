@@ -1,0 +1,142 @@
+// The DNS ecosystem: a Google-Public-DNS-like anycast resolver with per-PoP
+// ECS-scoped caches, per-ISP recursive resolvers, authoritative servers, and
+// the root system.
+//
+// The workload driver pushes client queries through DnsSystem::resolve();
+// measurement tools later read the state a real measurer could reach:
+// non-recursive ECS cache probes of the public resolver (§3.1.2 approach 1)
+// and crawls of open root-letter logs (approach 2).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/mapping.h"
+#include "cdn/services.h"
+#include "dns/authoritative.h"
+#include "dns/cache.h"
+#include "dns/root.h"
+#include "traffic/user_base.h"
+
+namespace itm::dns {
+
+struct PublicPop {
+  CityId city;
+  Ipv4Addr address;
+};
+
+struct DnsConfig {
+  // Number of public-resolver PoPs to place (main cities first).
+  std::size_t public_pop_target = 14;
+  // Public resolver caps upstream TTLs (seconds).
+  std::uint32_t max_cache_ttl_s = 21600;
+  // Probability that an access network runs its own recursive resolver:
+  // base + boost * size_factor (capped). Networks without one forward to
+  // their transit provider's resolver, so root logs attribute their
+  // Chromium queries to the provider's AS — the blind spot that caps the
+  // root-log technique's coverage (~60% in the paper, vs ~95% for probing).
+  double own_resolver_base = 0.3;
+  double own_resolver_size_boost = 0.1;
+  double own_resolver_cap = 0.85;
+  // Fraction of resolutions sampled by measurement JavaScript embedded in
+  // popular pages ([43]; §3.1.3's proposed fix for resolver-based
+  // techniques): each sample records the (client AS, resolver address)
+  // pair, letting researchers redistribute per-resolver root-log counts
+  // back onto client networks.
+  double association_sample_rate = 0.01;
+  RootConfig root;
+};
+
+class DnsSystem {
+ public:
+  DnsSystem(const topology::Topology& topo, const traffic::UserBase& users,
+            const cdn::ServiceCatalog& catalog,
+            const cdn::ClientMapper& mapper, const DnsConfig& config,
+            Rng& rng);
+
+  struct ResolveResult {
+    Ipv4Addr answer;
+    bool used_public = false;
+    bool cache_hit = false;
+    std::size_t public_pop = 0;  // valid when used_public
+  };
+
+  // A client in `up` resolves `service`; resolver choice is sampled from the
+  // prefix's public-DNS share.
+  ResolveResult resolve(const traffic::UserPrefix& up,
+                        const cdn::Service& service, SimTime now, Rng& rng);
+
+  // A Chromium browser start in `up`: `queries` random-label lookups that
+  // bypass caches and land at the roots, logged by resolver address.
+  void chromium_probe(const traffic::UserPrefix& up, std::uint64_t queries,
+                      SimTime now, Rng& rng);
+
+  // --- Measurement surface -------------------------------------------------
+
+  // Non-recursive ECS cache probe against one public PoP: did a client of
+  // `slash24` resolve `service` there recently? Returns the cached answer.
+  [[nodiscard]] std::optional<Ipv4Addr> probe_cache(
+      std::size_t pop_index, const cdn::Service& service,
+      const Ipv4Prefix& slash24, SimTime now) const;
+
+  [[nodiscard]] const std::vector<PublicPop>& public_pops() const {
+    return pops_;
+  }
+  [[nodiscard]] const RootSystem& roots() const { return roots_; }
+  [[nodiscard]] const AuthoritativeDns& authoritative() const {
+    return authoritative_;
+  }
+
+  // The public PoP serving clients in `city` (anycast catchment).
+  [[nodiscard]] std::size_t pop_for_city(CityId city) const {
+    return nearest_pop_[city.value()];
+  }
+
+  [[nodiscard]] Ipv4Addr isp_resolver_address(Asn asn) const;
+
+  // Sampled (resolver address -> client AS -> observation count) pairs from
+  // page-embedded measurements; public data a research project could host.
+  using ResolverAssociations =
+      std::unordered_map<Ipv4Addr,
+                         std::unordered_map<std::uint32_t, std::uint64_t>>;
+  [[nodiscard]] const ResolverAssociations& resolver_associations() const {
+    return associations_;
+  }
+
+  void purge(SimTime now);
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t public_queries = 0;
+    std::uint64_t public_hits = 0;
+    std::uint64_t isp_hits = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // True when the AS operates a resolver in its own address space.
+  [[nodiscard]] bool runs_own_resolver(Asn asn) const;
+
+ private:
+  struct IspResolver {
+    CityId city;
+    Asn host{0};  // AS whose space the resolver lives in
+    DnsCache cache;
+  };
+
+  const topology::Topology* topo_;
+  AuthoritativeDns authoritative_;
+  DnsConfig config_;
+  std::vector<PublicPop> pops_;
+  std::vector<DnsCache> pop_caches_;
+  std::vector<std::size_t> nearest_pop_;  // city -> pop index
+  // Resolver assignment: access AS -> resolver address (own or provider's),
+  // and resolver state keyed by address (siblings may share a resolver).
+  std::unordered_map<std::uint32_t, Ipv4Addr> resolver_of_as_;
+  std::unordered_map<Ipv4Addr, IspResolver> isp_resolvers_;
+  ResolverAssociations associations_;
+  RootSystem roots_;
+  Stats stats_;
+};
+
+}  // namespace itm::dns

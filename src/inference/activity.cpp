@@ -1,0 +1,98 @@
+#include "inference/activity.h"
+
+#include <cmath>
+
+namespace itm::inference {
+
+ActivityEstimate activity_from_cache_hits(const scan::CacheProber& prober,
+                                          const topology::AddressPlan& plan) {
+  ActivityEstimate est;
+  // Zero-hit ASes carry no signal (every probed AS would otherwise appear
+  // with rate 0, and a hard zero would annihilate other signals in the
+  // geometric-mean combination).
+  for (const auto& [asn, rate] : prober.hit_rate_by_as(plan)) {
+    if (rate > 0) est.by_as.emplace(asn, rate);
+  }
+  return est;
+}
+
+ActivityEstimate activity_from_root_logs(const scan::RootCrawlResult& crawl) {
+  ActivityEstimate est;
+  for (const auto& [asn, count] : crawl.queries_by_as) {
+    est.by_as.emplace(asn, static_cast<double>(count));
+  }
+  return est;
+}
+
+ActivityEstimate activity_from_root_logs_with_associations(
+    const dns::DnsSystem& dns, const topology::AddressPlan& plan) {
+  ActivityEstimate est;
+  const auto& associations = dns.resolver_associations();
+  for (const auto& [resolver, count] : dns.roots().crawl()) {
+    const auto assoc = associations.find(resolver);
+    if (assoc != associations.end() && !assoc->second.empty()) {
+      double total = 0;
+      for (const auto& [asn, samples] : assoc->second) {
+        total += static_cast<double>(samples);
+      }
+      for (const auto& [asn, samples] : assoc->second) {
+        est.by_as[asn] += static_cast<double>(count) *
+                          static_cast<double>(samples) / total;
+      }
+    } else if (const auto asn = plan.origin_of(resolver)) {
+      est.by_as[asn->value()] += static_cast<double>(count);
+    }
+  }
+  return est;
+}
+
+ActivityEstimate combine_activity(const ActivityEstimate& a,
+                                  const ActivityEstimate& b) {
+  ActivityEstimate out;
+  // Normalize each signal to mean 1 over its support before combining so
+  // neither scale dominates.
+  const auto normalized = [](const ActivityEstimate& e) {
+    double mean = 0;
+    for (const auto& [asn, v] : e.by_as) mean += v;
+    mean = e.by_as.empty() ? 1.0 : mean / static_cast<double>(e.by_as.size());
+    std::unordered_map<std::uint32_t, double> out;
+    for (const auto& [asn, v] : e.by_as) out.emplace(asn, v / mean);
+    return out;
+  };
+  const auto na = normalized(a);
+  const auto nb = normalized(b);
+  for (const auto& [asn, v] : na) {
+    const auto it = nb.find(asn);
+    out.by_as[asn] = it == nb.end() ? v : std::sqrt(v * it->second);
+  }
+  for (const auto& [asn, v] : nb) {
+    out.by_as.try_emplace(asn, v);
+  }
+  return out;
+}
+
+RankAgreement score_activity(const ActivityEstimate& estimate,
+                             const traffic::UserBase& users,
+                             const topology::Topology& topo) {
+  std::vector<double> est, truth;
+  for (const Asn asn : topo.accesses) {
+    const double t = users.as_activity(asn);
+    const double e = estimate.score(asn);
+    if (t <= 0 || e <= 0) continue;
+    truth.push_back(t);
+    est.push_back(e);
+  }
+  RankAgreement agreement;
+  agreement.compared = est.size();
+  agreement.spearman = spearman(est, truth);
+  agreement.kendall_tau = kendall_tau(est, truth);
+  std::vector<double> le(est.size()), lt(truth.size());
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    le[i] = std::log(est[i]);
+    lt[i] = std::log(truth[i]);
+  }
+  agreement.pearson_log = pearson(le, lt);
+  return agreement;
+}
+
+}  // namespace itm::inference

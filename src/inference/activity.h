@@ -1,0 +1,63 @@
+// Relative user-activity estimation (§3.1.3).
+//
+// Three estimators, combined the way the paper suggests:
+//   * cache-hit-rate per AS from repeated ECS cache probing — prefixes with
+//     more activity populate caches for a larger fraction of the time;
+//   * Chromium query counts per resolver-hosting AS from root logs —
+//     roughly proportional to the number of active browsers;
+//   * a combined score (geometric mean when both signals exist).
+// Evaluation is rank-based (Spearman / Kendall vs. ground truth), since the
+// paper argues relative levels suffice for most use cases.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/stats.h"
+#include "scan/cache_prober.h"
+#include "scan/root_crawler.h"
+#include "traffic/user_base.h"
+
+namespace itm::inference {
+
+struct ActivityEstimate {
+  // Per-AS relative activity scores (arbitrary scale, compare ranks).
+  std::unordered_map<std::uint32_t, double> by_as;
+
+  [[nodiscard]] double score(Asn asn) const {
+    const auto it = by_as.find(asn.value());
+    return it == by_as.end() ? 0.0 : it->second;
+  }
+};
+
+[[nodiscard]] ActivityEstimate activity_from_cache_hits(
+    const scan::CacheProber& prober, const topology::AddressPlan& plan);
+
+[[nodiscard]] ActivityEstimate activity_from_root_logs(
+    const scan::RootCrawlResult& crawl);
+
+// Root-log activity refined with page-embedded resolver-client association
+// samples (§3.1.3): each resolver's query count is redistributed over the
+// client ASes observed using it, recovering networks that outsource their
+// resolvers and splitting public-resolver volume back onto real clients.
+// Resolvers with no association samples fall back to origin-AS attribution.
+[[nodiscard]] ActivityEstimate activity_from_root_logs_with_associations(
+    const dns::DnsSystem& dns, const topology::AddressPlan& plan);
+
+// Geometric-mean combination; falls back to whichever signal exists.
+[[nodiscard]] ActivityEstimate combine_activity(const ActivityEstimate& a,
+                                                const ActivityEstimate& b);
+
+struct RankAgreement {
+  double spearman = 0.0;
+  double kendall_tau = 0.0;
+  double pearson_log = 0.0;  // Pearson on log-scores, both > 0 only
+  std::size_t compared = 0;
+};
+
+// Rank agreement between an estimate and ground-truth per-AS activity,
+// over ASes where both are positive.
+[[nodiscard]] RankAgreement score_activity(const ActivityEstimate& estimate,
+                                           const traffic::UserBase& users,
+                                           const topology::Topology& topo);
+
+}  // namespace itm::inference

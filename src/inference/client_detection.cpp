@@ -1,0 +1,114 @@
+#include "inference/client_detection.h"
+
+#include <algorithm>
+
+namespace itm::inference {
+
+ClientCoverage evaluate_prefixes(std::span<const Ipv4Prefix> detected,
+                                 const traffic::UserBase& users,
+                                 const traffic::TrafficMatrix& matrix,
+                                 HypergiantId reference) {
+  ClientCoverage cov;
+  cov.detected = detected.size();
+  cov.true_universe = users.size();
+
+  std::unordered_set<Ipv4Prefix> detected_set(detected.begin(),
+                                              detected.end());
+  double covered_bytes = 0, total_bytes = 0;
+  double covered_users = 0;
+  const auto prefixes = users.all();
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const double bytes = matrix.prefix_hypergiant_bytes(i, reference);
+    total_bytes += bytes;
+    if (detected_set.contains(prefixes[i].prefix)) {
+      covered_bytes += bytes;
+      covered_users += prefixes[i].users;
+    }
+  }
+  cov.traffic_coverage = total_bytes > 0 ? covered_bytes / total_bytes : 0.0;
+  cov.user_coverage =
+      users.total_users() > 0 ? covered_users / users.total_users() : 0.0;
+
+  std::size_t false_positives = 0;
+  for (const Ipv4Prefix& p : detected) {
+    if (users.find(p) == nullptr) ++false_positives;
+  }
+  cov.false_positive_rate =
+      detected.empty()
+          ? 0.0
+          : static_cast<double>(false_positives) / detected.size();
+  return cov;
+}
+
+ClientCoverage evaluate_ases(std::span<const Asn> detected,
+                             const traffic::UserBase& users,
+                             const traffic::TrafficMatrix& matrix,
+                             HypergiantId reference,
+                             const topology::Topology& topo) {
+  ClientCoverage cov;
+  cov.detected = detected.size();
+  cov.true_universe = topo.accesses.size();
+
+  std::unordered_set<std::uint32_t> detected_set;
+  for (const Asn a : detected) detected_set.insert(a.value());
+
+  double covered_bytes = 0, total_bytes = 0, covered_users = 0;
+  const auto prefixes = users.all();
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const double bytes = matrix.prefix_hypergiant_bytes(i, reference);
+    total_bytes += bytes;
+    if (detected_set.contains(prefixes[i].asn.value())) {
+      covered_bytes += bytes;
+      covered_users += prefixes[i].users;
+    }
+  }
+  cov.traffic_coverage = total_bytes > 0 ? covered_bytes / total_bytes : 0.0;
+  cov.user_coverage =
+      users.total_users() > 0 ? covered_users / users.total_users() : 0.0;
+
+  std::size_t false_positives = 0;
+  for (const Asn a : detected) {
+    if (users.as_users(a) <= 0) ++false_positives;
+  }
+  cov.false_positive_rate =
+      detected.empty()
+          ? 0.0
+          : static_cast<double>(false_positives) / detected.size();
+  return cov;
+}
+
+std::vector<Asn> combine_detected(std::span<const Ipv4Prefix> prefixes,
+                                  std::span<const Asn> ases,
+                                  const topology::AddressPlan& plan) {
+  std::unordered_set<std::uint32_t> set;
+  for (const Asn a : ases) set.insert(a.value());
+  for (const Ipv4Prefix& p : prefixes) {
+    if (const auto asn = plan.origin_of(p)) set.insert(asn->value());
+  }
+  std::vector<Asn> out;
+  out.reserve(set.size());
+  for (const auto v : set) out.push_back(Asn(v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> apnic_coverage_by_country(
+    std::span<const Asn> detected, const apnic::ApnicEstimates& apnic,
+    const topology::Topology& topo) {
+  const std::size_t countries = topo.geography.countries().size();
+  std::vector<double> covered(countries, 0.0), total(countries, 0.0);
+  std::unordered_set<std::uint32_t> detected_set;
+  for (const Asn a : detected) detected_set.insert(a.value());
+  for (const auto& [asn, estimate] : apnic.by_as()) {
+    const auto country = topo.graph.info(Asn(asn)).country.value();
+    total[country] += estimate;
+    if (detected_set.contains(asn)) covered[country] += estimate;
+  }
+  std::vector<double> out(countries, 0.0);
+  for (std::size_t c = 0; c < countries; ++c) {
+    out[c] = total[c] > 0 ? covered[c] / total[c] : 0.0;
+  }
+  return out;
+}
+
+}  // namespace itm::inference

@@ -1,0 +1,56 @@
+// Turning raw measurements into the "where are users?" map component, and
+// scoring it the way the paper does: by the fraction of a hypergiant's
+// traffic whose client prefix/AS the technique identified (the §3.1.2
+// "95% / 60% / 99% of Microsoft CDN traffic" metrics), plus false-positive
+// and APNIC-user coverage rates.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "apnic/estimator.h"
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "traffic/demand.h"
+#include "traffic/user_base.h"
+
+namespace itm::inference {
+
+struct ClientCoverage {
+  // Fraction of the reference hypergiant's bytes originating in detected
+  // client prefixes (or ASes, for AS-granularity techniques).
+  double traffic_coverage = 0.0;
+  // Fraction of all users in detected prefixes/ASes.
+  double user_coverage = 0.0;
+  // Fraction of detected prefixes with no actual activity (paper: <1%).
+  double false_positive_rate = 0.0;
+  std::size_t detected = 0;
+  std::size_t true_universe = 0;
+};
+
+// Prefix-granularity evaluation (cache probing).
+[[nodiscard]] ClientCoverage evaluate_prefixes(
+    std::span<const Ipv4Prefix> detected, const traffic::UserBase& users,
+    const traffic::TrafficMatrix& matrix, HypergiantId reference);
+
+// AS-granularity evaluation (root-log crawling).
+[[nodiscard]] ClientCoverage evaluate_ases(std::span<const Asn> detected,
+                                           const traffic::UserBase& users,
+                                           const traffic::TrafficMatrix& matrix,
+                                           HypergiantId reference,
+                                           const topology::Topology& topo);
+
+// Union of an AS set with the ASes of a prefix set (the paper's combined
+// 99% number is at AS granularity).
+[[nodiscard]] std::vector<Asn> combine_detected(
+    std::span<const Ipv4Prefix> prefixes, std::span<const Asn> ases,
+    const topology::AddressPlan& plan);
+
+// Fraction of APNIC-estimated users that sit in detected ASes, per country
+// (the Figure 1b shading).
+[[nodiscard]] std::vector<double> apnic_coverage_by_country(
+    std::span<const Asn> detected, const apnic::ApnicEstimates& apnic,
+    const topology::Topology& topo);
+
+}  // namespace itm::inference

@@ -1,0 +1,92 @@
+#include "inference/geolocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itm::inference {
+
+namespace {
+
+// Weiszfeld geometric median on the (locally flat) lat/lon plane; adequate
+// for city-scale clusters.
+GeoPoint geometric_median(const std::vector<GeoPoint>& points) {
+  GeoPoint current{0, 0};
+  for (const auto& p : points) {
+    current.lat_deg += p.lat_deg;
+    current.lon_deg += p.lon_deg;
+  }
+  current.lat_deg /= static_cast<double>(points.size());
+  current.lon_deg /= static_cast<double>(points.size());
+  for (int iter = 0; iter < 20; ++iter) {
+    double wsum = 0, lat = 0, lon = 0;
+    for (const auto& p : points) {
+      const double d = std::max(1.0, haversine_km(current, p));
+      const double w = 1.0 / d;
+      wsum += w;
+      lat += w * p.lat_deg;
+      lon += w * p.lon_deg;
+    }
+    const GeoPoint next{lat / wsum, lon / wsum};
+    if (haversine_km(current, next) < 1.0) return next;
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<GeolocatedServer> geolocate_servers(
+    std::span<const std::unordered_map<Ipv4Prefix, Ipv4Addr>* const> sweeps,
+    const PrefixLocator& locate) {
+  std::unordered_map<Ipv4Addr, std::vector<GeoPoint>> clients_of;
+  for (const auto* sweep : sweeps) {
+    for (const auto& [prefix, server] : *sweep) {
+      if (const auto loc = locate(prefix)) {
+        clients_of[server].push_back(*loc);
+      }
+    }
+  }
+  std::vector<GeolocatedServer> out;
+  out.reserve(clients_of.size());
+  for (const auto& [server, points] : clients_of) {
+    out.push_back(GeolocatedServer{server, geometric_median(points),
+                                   points.size()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GeolocatedServer& a, const GeolocatedServer& b) {
+              return a.address < b.address;
+            });
+  return out;
+}
+
+std::vector<GeolocatedServer> geolocate_servers(
+    const std::vector<std::unordered_map<Ipv4Prefix, Ipv4Addr>>& sweeps,
+    const PrefixLocator& locate) {
+  std::vector<const std::unordered_map<Ipv4Prefix, Ipv4Addr>*> pointers;
+  pointers.reserve(sweeps.size());
+  for (const auto& sweep : sweeps) pointers.push_back(&sweep);
+  return geolocate_servers(pointers, locate);
+}
+
+GeolocationScore score_geolocation(
+    const std::vector<GeolocatedServer>& inferred,
+    const std::function<std::optional<GeoPoint>(Ipv4Addr)>& truth) {
+  GeolocationScore score;
+  std::vector<double> errors;
+  for (const auto& server : inferred) {
+    const auto actual = truth(server.address);
+    if (!actual) continue;
+    errors.push_back(haversine_km(server.location, *actual));
+  }
+  score.located = errors.size();
+  if (errors.empty()) return score;
+  std::sort(errors.begin(), errors.end());
+  score.median_error_km = errors[errors.size() / 2];
+  score.frac_within_500km =
+      static_cast<double>(std::count_if(errors.begin(), errors.end(),
+                                        [](double e) { return e <= 500.0; })) /
+      static_cast<double>(errors.size());
+  return score;
+}
+
+}  // namespace itm::inference

@@ -1,0 +1,55 @@
+// Client-centric server geolocation (§3.2.2, approach 3).
+//
+// A front end discovered by TLS scanning has no public location. But ECS
+// mapping sweeps reveal which client prefixes a service directs to it, and
+// redirection is distance-driven — so the geometric median of its clients'
+// (approximately known) locations is a good estimate of the server's
+// location [13]. Accuracy is limited by the client-geolocation database,
+// modeled here as "AS home city" (what a public IP-geo DB gets right).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ipv4.h"
+
+namespace itm::inference {
+
+// Researcher-side geolocation of a client prefix (nullopt when unknown).
+using PrefixLocator =
+    std::function<std::optional<GeoPoint>(const Ipv4Prefix&)>;
+
+struct GeolocatedServer {
+  Ipv4Addr address;
+  GeoPoint location;
+  std::size_t supporting_prefixes = 0;
+};
+
+// Inverts one or more (prefix -> front end) ECS sweeps and geolocates every
+// front end at the geometric median (Weiszfeld) of its clients. The span
+// holds non-owning pointers so large sweeps need not be copied.
+[[nodiscard]] std::vector<GeolocatedServer> geolocate_servers(
+    std::span<const std::unordered_map<Ipv4Prefix, Ipv4Addr>* const> sweeps,
+    const PrefixLocator& locate);
+
+// Convenience overload for owned sweep vectors.
+[[nodiscard]] std::vector<GeolocatedServer> geolocate_servers(
+    const std::vector<std::unordered_map<Ipv4Prefix, Ipv4Addr>>& sweeps,
+    const PrefixLocator& locate);
+
+struct GeolocationScore {
+  std::size_t located = 0;
+  double median_error_km = 0.0;
+  double frac_within_500km = 0.0;
+};
+
+// Scores inferred locations against ground truth server locations.
+[[nodiscard]] GeolocationScore score_geolocation(
+    const std::vector<GeolocatedServer>& inferred,
+    const std::function<std::optional<GeoPoint>(Ipv4Addr)>& truth);
+
+}  // namespace itm::inference

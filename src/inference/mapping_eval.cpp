@@ -1,0 +1,73 @@
+#include "inference/mapping_eval.h"
+
+#include "net/geo.h"
+
+namespace itm::inference {
+
+MappingCoverage mapping_coverage(const cdn::ServiceCatalog& catalog,
+                                 const traffic::TrafficMatrix& matrix) {
+  MappingCoverage cov;
+  double total = 0;
+  for (const auto& s : catalog.services()) {
+    const double bytes = matrix.service_bytes(s.id);
+    total += bytes;
+    switch (s.redirection) {
+      case cdn::RedirectionKind::kDnsRedirection:
+        (s.supports_ecs ? cov.ecs_dns_share : cov.non_ecs_dns_share) += bytes;
+        break;
+      case cdn::RedirectionKind::kAnycast:
+        cov.anycast_share += bytes;
+        break;
+      case cdn::RedirectionKind::kCustomUrl:
+        cov.custom_url_share += bytes;
+        break;
+      case cdn::RedirectionKind::kSingleSite:
+        cov.single_site_share += bytes;
+        break;
+    }
+  }
+  if (total > 0) {
+    cov.ecs_dns_share /= total;
+    cov.non_ecs_dns_share /= total;
+    cov.anycast_share /= total;
+    cov.custom_url_share /= total;
+    cov.single_site_share /= total;
+  }
+  return cov;
+}
+
+AnycastOptimality anycast_optimality(const topology::Topology& topo,
+                                     const traffic::UserBase& users,
+                                     const cdn::ClientMapper& mapper,
+                                     HypergiantId hg) {
+  AnycastOptimality result;
+  const auto& geo = topo.geography;
+  const auto& deployment = mapper.deployment();
+  double total_users = 0, optimal_users = 0, near_users = 0;
+  std::size_t optimal_routes = 0;
+  for (const Asn asn : topo.accesses) {
+    const double as_users = users.as_users(asn);
+    const CityId client_city = topo.graph.info(asn).home_city;
+    const PopId actual = mapper.anycast_site(hg, asn);
+    const PopId optimal = mapper.optimal_site(hg, client_city);
+    ++result.ases_considered;
+    if (actual == optimal) ++optimal_routes;
+    total_users += as_users;
+    if (actual == optimal) optimal_users += as_users;
+    const double excess_km =
+        geo.distance_km(deployment.pop(actual).city, client_city) -
+        geo.distance_km(deployment.pop(optimal).city, client_city);
+    if (excess_km <= 500.0) near_users += as_users;
+  }
+  if (result.ases_considered > 0) {
+    result.routes_optimal = static_cast<double>(optimal_routes) /
+                            static_cast<double>(result.ases_considered);
+  }
+  if (total_users > 0) {
+    result.users_optimal = optimal_users / total_users;
+    result.users_within_500km = near_users / total_users;
+  }
+  return result;
+}
+
+}  // namespace itm::inference

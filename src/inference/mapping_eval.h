@@ -1,0 +1,46 @@
+// Evaluating the inferred user-to-host mapping (§3.2.3).
+//
+// ECS probing yields exact mappings for ECS-supporting DNS-redirected
+// services; for anycast and custom-URL services the researcher must assume
+// clients reach their *optimal* site. This module measures how much traffic
+// each regime covers and how often the optimality assumption holds — the
+// paper's "31% of routes / 60% of users / 80% within 500 km" themes.
+#pragma once
+
+#include "cdn/mapping.h"
+#include "cdn/services.h"
+#include "traffic/demand.h"
+#include "traffic/user_base.h"
+
+namespace itm::inference {
+
+struct MappingCoverage {
+  // Share of total bytes in each inference regime.
+  double ecs_dns_share = 0.0;        // exactly inferable via ECS probing
+  double non_ecs_dns_share = 0.0;    // DNS-redirected but no ECS
+  double anycast_share = 0.0;        // needs the optimality assumption
+  double custom_url_share = 0.0;     // assumed optimal (paper argument)
+  double single_site_share = 0.0;    // trivially known (one site)
+};
+
+[[nodiscard]] MappingCoverage mapping_coverage(
+    const cdn::ServiceCatalog& catalog, const traffic::TrafficMatrix& matrix);
+
+struct AnycastOptimality {
+  // Unweighted: fraction of client ASes whose catchment is the
+  // geo-closest site ("31% of routes").
+  double routes_optimal = 0.0;
+  // User-weighted: fraction of users landing on their optimal site
+  // ("60% of users").
+  double users_optimal = 0.0;
+  // User-weighted fraction within 500 km of the optimal site ("80%").
+  double users_within_500km = 0.0;
+  std::size_t ases_considered = 0;
+};
+
+// Scores one hypergiant's anycast catchments against geographic optimum.
+[[nodiscard]] AnycastOptimality anycast_optimality(
+    const topology::Topology& topo, const traffic::UserBase& users,
+    const cdn::ClientMapper& mapper, HypergiantId hg);
+
+}  // namespace itm::inference

@@ -1,0 +1,214 @@
+#include "inference/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace itm::inference {
+
+using topology::PeeringPolicy;
+using topology::Relation;
+using topology::TrafficProfile;
+
+namespace {
+
+// All registered pairs declaring a common facility.
+std::vector<std::pair<Asn, Asn>> colocated_pairs(
+    const topology::PeeringDb& pdb) {
+  std::unordered_map<std::uint32_t, std::vector<Asn>> members;
+  for (const auto& rec : pdb.records()) {
+    for (const auto f : rec.facilities) {
+      members[f.value()].push_back(rec.asn);
+    }
+  }
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<Asn, Asn>> pairs;
+  for (const auto& [facility, list] : members) {
+    (void)facility;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (seen.insert(asn_pair_key(list[i], list[j])).second) {
+          pairs.emplace_back(list[i], list[j]);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+std::size_t shared_declared_facilities(const topology::PeeringDbRecord& a,
+                                       const topology::PeeringDbRecord& b) {
+  std::size_t shared = 0;
+  for (const auto fa : a.facilities) {
+    for (const auto fb : b.facilities) {
+      if (fa == fb) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  return shared;
+}
+
+// Operational-knowledge priors over declared attributes.
+double policy_prior(PeeringPolicy a, PeeringPolicy b, int min_level) {
+  const bool a_restrictive = a == PeeringPolicy::kRestrictive;
+  const bool b_restrictive = b == PeeringPolicy::kRestrictive;
+  if (a_restrictive || b_restrictive) {
+    // Restrictive networks only entertain very large peers.
+    return min_level >= 4 ? 0.25 : 0.02;
+  }
+  const int open_count = (a == PeeringPolicy::kOpen ? 1 : 0) +
+                         (b == PeeringPolicy::kOpen ? 1 : 0);
+  switch (open_count) {
+    case 2: return 0.9;
+    case 1: return 0.5;
+    default: return 0.3;
+  }
+}
+
+int direction_of(TrafficProfile p) {
+  switch (p) {
+    case TrafficProfile::kHeavyOutbound: return 2;
+    case TrafficProfile::kMostlyOutbound: return 1;
+    case TrafficProfile::kBalanced: return 0;
+    case TrafficProfile::kMostlyInbound: return -1;
+    case TrafficProfile::kHeavyInbound: return -2;
+  }
+  return 0;
+}
+
+double profile_prior(TrafficProfile a, TrafficProfile b) {
+  const int prod = direction_of(a) * direction_of(b);
+  if (prod < 0) return 1.5;  // complementary: content <-> eyeball
+  if (prod > 1) return 0.7;  // both strongly same-direction
+  return 1.0;
+}
+
+}  // namespace
+
+PeeringRecommender::PeeringRecommender(const topology::PeeringDb& pdb,
+                                       const topology::AsGraph& observed,
+                                       const RecommenderConfig& config)
+    : pdb_(&pdb), observed_(&observed), config_(config) {
+  // Observed peer sets, for the collaborative term.
+  peer_sets_.resize(observed.size());
+  for (std::size_t v = 0; v < observed.size(); ++v) {
+    for (const auto& nb :
+         observed.neighbors(Asn(static_cast<std::uint32_t>(v)))) {
+      if (nb.relation == Relation::kPeer) {
+        peer_sets_[v].push_back(nb.asn.value());
+      }
+    }
+    std::sort(peer_sets_[v].begin(), peer_sets_[v].end());
+  }
+}
+
+double PeeringRecommender::score(Asn a, Asn b) const {
+  const auto* ra = pdb_->lookup(a);
+  const auto* rb = pdb_->lookup(b);
+  if (ra == nullptr || rb == nullptr) return 0.0;
+  const std::size_t shared = shared_declared_facilities(*ra, *rb);
+  if (shared == 0) return 0.0;
+
+  const int min_level = std::min(ra->traffic_level, rb->traffic_level);
+  const int max_level = std::max(ra->traffic_level, rb->traffic_level);
+  double prior = policy_prior(ra->policy, rb->policy, min_level) *
+                 profile_prior(ra->profile, rb->profile) *
+                 std::min(1.5, std::sqrt(static_cast<double>(shared)));
+  // Flattening: a content-heavy giant meeting a *large* eyeball peers
+  // almost always, regardless of declared policy conservatism; with a small
+  // eyeball the giant rarely bothers (PNIs are sized deals).
+  const auto eyeball_level = [&]() -> int {
+    if (ra->info_type == "Content" &&
+        max_level >= config_.content_heavy_level &&
+        rb->info_type == "Cable/DSL/ISP") {
+      return rb->traffic_level;
+    }
+    if (rb->info_type == "Content" &&
+        max_level >= config_.content_heavy_level &&
+        ra->info_type == "Cable/DSL/ISP") {
+      return ra->traffic_level;
+    }
+    return -1;
+  }();
+  if (eyeball_level >= 4) {
+    prior *= config_.flattening_boost;
+  } else if (eyeball_level >= 0 && eyeball_level <= 2) {
+    prior *= 0.3;
+  }
+
+  const auto& pa = peer_sets_[a.value()];
+  const auto& pb = peer_sets_[b.value()];
+  double similarity = 0.0;
+  if (!pa.empty() && !pb.empty()) {
+    std::size_t common = 0;
+    auto ia = pa.begin();
+    auto ib = pb.begin();
+    while (ia != pa.end() && ib != pb.end()) {
+      if (*ia < *ib) ++ia;
+      else if (*ib < *ia) ++ib;
+      else {
+        ++common;
+        ++ia;
+        ++ib;
+      }
+    }
+    similarity = static_cast<double>(common) /
+                 std::sqrt(static_cast<double>(pa.size()) *
+                           static_cast<double>(pb.size()));
+  }
+  return prior * (1.0 - config_.similarity_weight +
+                  config_.similarity_weight * (1.0 + similarity));
+}
+
+std::vector<LinkCandidate> PeeringRecommender::recommend(
+    std::size_t top_k) const {
+  std::vector<LinkCandidate> candidates;
+  for (const auto& [a, b] : colocated_pairs(*pdb_)) {
+    if (observed_->adjacent(a, b)) continue;
+    const double s = score(a, b);
+    if (s > 0) candidates.push_back(LinkCandidate{a, b, s});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LinkCandidate& x, const LinkCandidate& y) {
+              return x.score > y.score;
+            });
+  if (candidates.size() > top_k) candidates.resize(top_k);
+  return candidates;
+}
+
+RecommenderScore score_recommendations(
+    const std::vector<LinkCandidate>& candidates,
+    const topology::AsGraph& truth, const routing::PublicView& view) {
+  RecommenderScore score;
+  score.recommended = candidates.size();
+  // "Correct" mirrors the recall denominator exactly: a true *peering*
+  // link that the public view is missing. (Counting any true adjacency
+  // would inflate precision and let recall exceed 1.)
+  for (const auto& c : candidates) {
+    if (truth.relation(c.a, c.b) == Relation::kPeer &&
+        !view.observed(c.a, c.b)) {
+      ++score.correct;
+    }
+  }
+  for (const auto& link : truth.links()) {
+    if (link.a_to_b == Relation::kPeer && !view.observed(link.a, link.b)) {
+      ++score.missing_total;
+    }
+  }
+  return score;
+}
+
+topology::AsGraph augment_graph(const topology::AsGraph& observed,
+                                const std::vector<LinkCandidate>& candidates) {
+  auto out = topology::copy_graph(observed,
+                                  [](const topology::Link&) { return true; });
+  for (const auto& c : candidates) {
+    if (!out.adjacent(c.a, c.b)) out.add_peering(c.a, c.b);
+  }
+  return out;
+}
+
+}  // namespace itm::inference

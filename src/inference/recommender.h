@@ -1,0 +1,91 @@
+// Peering-link recommendation (§3.3.3).
+//
+// The public topology misses most peering links. The paper proposes a
+// recommender-system formulation: given PeeringDB-style public attributes
+// (facility presence, peering policy, traffic profile/level) and the links
+// that *are* observed, predict which co-located pairs also interconnect.
+//
+// The model is deliberately simple and fully "public-data". A naive idea —
+// fitting a link-probability prior on *observed* links — fails badly here
+// (and on the real Internet): visible links are exactly the ones that are
+// not missing, a biased sample that anti-predicts invisible peering. The
+// score instead combines
+//   * an operational-knowledge prior over declared attributes (peering
+//     policy compatibility, traffic-profile complementarity, declared size,
+//     number of shared facilities — the attributes §3.3.3 lists), with a
+//     flattening boost for content-heavy x eyeball pairs, and
+//   * a collaborative term: cosine similarity of observed peer sets
+//     ("networks with similar peering profiles peer with the same
+//     networks"), which refines the ranking where visibility allows.
+#pragma once
+
+#include <vector>
+
+#include "routing/public_view.h"
+#include "topology/as_graph.h"
+#include "topology/peeringdb.h"
+
+namespace itm::inference {
+
+struct LinkCandidate {
+  Asn a{0};
+  Asn b{0};
+  double score = 0.0;
+};
+
+struct RecommenderConfig {
+  // Weight of the collaborative (neighbor-similarity) term vs. the prior.
+  double similarity_weight = 0.25;
+  // Boost applied when a content-heavy network (declared traffic level >=
+  // this) meets an eyeball: the hypergiant-flattening prior.
+  int content_heavy_level = 5;
+  double flattening_boost = 3.0;
+};
+
+class PeeringRecommender {
+ public:
+  PeeringRecommender(const topology::PeeringDb& pdb,
+                     const topology::AsGraph& observed,
+                     const RecommenderConfig& config = {});
+
+  // Top-k candidate links among co-located, registered, not-yet-observed
+  // pairs, highest score first.
+  [[nodiscard]] std::vector<LinkCandidate> recommend(std::size_t top_k) const;
+
+  // Score of one pair (0 when not co-located or unregistered).
+  [[nodiscard]] double score(Asn a, Asn b) const;
+
+ private:
+  const topology::PeeringDb* pdb_;
+  const topology::AsGraph* observed_;
+  RecommenderConfig config_;
+  // Observed peer sets for similarity.
+  std::vector<std::vector<std::uint32_t>> peer_sets_;
+};
+
+struct RecommenderScore {
+  std::size_t recommended = 0;
+  std::size_t correct = 0;  // recommended links that exist in ground truth
+  std::size_t missing_total = 0;  // true links absent from the observed view
+  [[nodiscard]] double precision() const {
+    return recommended == 0 ? 0.0
+                            : static_cast<double>(correct) / recommended;
+  }
+  [[nodiscard]] double recall() const {
+    return missing_total == 0 ? 0.0
+                              : static_cast<double>(correct) / missing_total;
+  }
+};
+
+// Precision/recall of the top-k recommendations against the true graph.
+[[nodiscard]] RecommenderScore score_recommendations(
+    const std::vector<LinkCandidate>& candidates,
+    const topology::AsGraph& truth, const routing::PublicView& view);
+
+// The observed graph plus accepted candidate links (added as peerings), for
+// re-running path prediction on an augmented topology.
+[[nodiscard]] topology::AsGraph augment_graph(
+    const topology::AsGraph& observed,
+    const std::vector<LinkCandidate>& candidates);
+
+}  // namespace itm::inference

@@ -1,0 +1,90 @@
+#include "inference/temporal.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "net/stats.h"
+
+namespace itm::inference {
+
+TemporalActivity temporal_activity(const scan::CacheProber& prober) {
+  TemporalActivity out;
+  const auto& records = prober.sweep_records();
+  out.sweep_times.reserve(records.size());
+  for (const auto& record : records) out.sweep_times.push_back(record.at);
+  for (std::size_t s = 0; s < records.size(); ++s) {
+    for (const auto& [asn, counts] : records[s].by_as) {
+      auto& series = out.series[asn];
+      if (series.empty()) series.assign(records.size(), 0.0);
+      series[s] = counts.second > 0
+                      ? static_cast<double>(counts.first) / counts.second
+                      : 0.0;
+    }
+  }
+  return out;
+}
+
+std::optional<double> estimated_peak_hour_utc(const TemporalActivity& activity,
+                                              Asn asn) {
+  const auto* series = activity.series_of(asn);
+  if (series == nullptr) return std::nullopt;
+  // Circular mean of sweep times weighted by (rate - min rate).
+  double base = *std::min_element(series->begin(), series->end());
+  double x = 0, y = 0;
+  for (std::size_t s = 0; s < series->size(); ++s) {
+    const double w = (*series)[s] - base;
+    const double angle = 2.0 * std::numbers::pi *
+                         static_cast<double>(activity.sweep_times[s] %
+                                             kSecondsPerDay) /
+                         kSecondsPerDay;
+    x += w * std::cos(angle);
+    y += w * std::sin(angle);
+  }
+  if (x == 0 && y == 0) return std::nullopt;
+  double hour = std::atan2(y, x) * 24.0 / (2.0 * std::numbers::pi);
+  if (hour < 0) hour += 24.0;
+  return hour;
+}
+
+TemporalScore score_temporal(const TemporalActivity& activity,
+                             const topology::Topology& topo,
+                             double min_mean_rate) {
+  TemporalScore score;
+  double corr_sum = 0, err_sum = 0;
+  for (const Asn asn : topo.accesses) {
+    const auto* series = activity.series_of(asn);
+    if (series == nullptr) continue;
+    double mean = 0;
+    for (const double v : *series) mean += v;
+    mean /= static_cast<double>(series->size());
+    if (mean < min_mean_rate) continue;
+
+    const double lon =
+        topo.geography.city(topo.graph.info(asn).home_city).location.lon_deg;
+    std::vector<double> truth;
+    truth.reserve(series->size());
+    for (const SimTime t : activity.sweep_times) {
+      truth.push_back(diurnal_at(t, lon));
+    }
+    corr_sum += pearson(*series, truth);
+
+    const auto peak = estimated_peak_hour_utc(activity, asn);
+    if (peak) {
+      double expected = std::fmod(21.0 - lon / 15.0 + 48.0, 24.0);
+      double diff = std::abs(*peak - expected);
+      diff = std::min(diff, 24.0 - diff);
+      err_sum += diff;
+    } else {
+      err_sum += 12.0;  // no signal: worst case
+    }
+    ++score.ases_scored;
+  }
+  if (score.ases_scored > 0) {
+    score.mean_shape_correlation =
+        corr_sum / static_cast<double>(score.ases_scored);
+    score.mean_peak_error_h = err_sum / static_cast<double>(score.ases_scored);
+  }
+  return score;
+}
+
+}  // namespace itm::inference

@@ -1,0 +1,54 @@
+// Temporal (hourly) activity estimation — Table 1's "desired: hourly"
+// precision for the relative-activity component.
+//
+// Repeated cache-probing sweeps yield a per-AS hit-rate time series whose
+// shape tracks the network's diurnal activity curve. This module turns
+// sweep records into per-AS series and scores them against the ground-truth
+// diurnal model (phase locked to the users' longitude).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim_time.h"
+#include "scan/cache_prober.h"
+#include "topology/generator.h"
+
+namespace itm::inference {
+
+struct TemporalActivity {
+  std::vector<SimTime> sweep_times;
+  // asn -> hit-rate per sweep (aligned with sweep_times).
+  std::unordered_map<std::uint32_t, std::vector<double>> series;
+
+  [[nodiscard]] const std::vector<double>* series_of(Asn asn) const {
+    const auto it = series.find(asn.value());
+    return it == series.end() ? nullptr : &it->second;
+  }
+};
+
+// Builds per-AS hit-rate series from a prober run with record_sweeps on.
+[[nodiscard]] TemporalActivity temporal_activity(
+    const scan::CacheProber& prober);
+
+// Estimated peak time (hour of day, UTC) of an AS's series, by circular
+// mean of sweep times weighted by hit rate. Returns nullopt when the series
+// has no hits.
+[[nodiscard]] std::optional<double> estimated_peak_hour_utc(
+    const TemporalActivity& activity, Asn asn);
+
+struct TemporalScore {
+  // Mean Pearson correlation between per-AS series and the true diurnal
+  // curve at the AS's longitude.
+  double mean_shape_correlation = 0.0;
+  // Mean circular error (hours) between estimated and true peak time.
+  double mean_peak_error_h = 0.0;
+  std::size_t ases_scored = 0;
+};
+
+// Scores the series against ground truth for ASes with enough signal.
+[[nodiscard]] TemporalScore score_temporal(const TemporalActivity& activity,
+                                           const topology::Topology& topo,
+                                           double min_mean_rate = 1e-4);
+
+}  // namespace itm::inference

@@ -1,0 +1,27 @@
+#include "net/geo.h"
+
+namespace itm {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+// Effective signal speed in fiber, km per ms, including typical path stretch.
+constexpr double kFiberKmPerMs = 204.0 / 1.3;
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double min_rtt_ms(const GeoPoint& a, const GeoPoint& b) {
+  return 2.0 * haversine_km(a, b) / kFiberKmPerMs;
+}
+
+}  // namespace itm

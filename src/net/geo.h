@@ -1,0 +1,28 @@
+// Geographic primitives: lat/lon points and great-circle distance.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <ostream>
+#include <string>
+
+namespace itm {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const GeoPoint& p) {
+    return os << "(" << p.lat_deg << "," << p.lon_deg << ")";
+  }
+};
+
+// Great-circle distance in kilometers (haversine, mean Earth radius).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// Speed-of-light-in-fiber lower bound for one-way latency, in milliseconds.
+// Fiber refractive index ~1.47 => ~204 km/ms; real paths add ~30% stretch.
+[[nodiscard]] double min_rtt_ms(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace itm

@@ -1,0 +1,89 @@
+// Strongly-typed integer identifiers used across the itm libraries.
+//
+// Raw integers invite accidental cross-assignment (an AS number used where a
+// city id was meant). Each identifier gets its own distinct type with an
+// explicit constructor and value() accessor; comparison and hashing are
+// provided so the types work in standard containers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace itm {
+
+// CRTP-free tagged id: distinct Tag => distinct type.
+template <typename Tag, typename Rep = std::uint32_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  TaggedId() = default;
+  constexpr explicit TaggedId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = 0;
+};
+
+struct AsnTag {};
+struct CityTag {};
+struct CountryTag {};
+struct FacilityTag {};
+struct ServiceTag {};
+struct HypergiantTag {};
+struct PopTag {};
+struct RouterTag {};
+struct ResolverTag {};
+struct ServerTag {};
+struct IxpTag {};
+
+// Autonomous System number.
+using Asn = TaggedId<AsnTag>;
+// Synthetic city identifier.
+using CityId = TaggedId<CityTag>;
+// Synthetic country identifier.
+using CountryId = TaggedId<CountryTag>;
+// Colocation facility identifier.
+using FacilityId = TaggedId<FacilityTag>;
+// A popular service (a web property, e.g. "video-3").
+using ServiceId = TaggedId<ServiceTag>;
+// A hypergiant / large content provider operating serving infrastructure.
+using HypergiantId = TaggedId<HypergiantTag>;
+// A point of presence (of a CDN or a public resolver).
+using PopId = TaggedId<PopTag>;
+// A router interface in the simulated data plane.
+using RouterId = TaggedId<RouterTag>;
+// A recursive resolver instance.
+using ResolverId = TaggedId<ResolverTag>;
+// A front-end server instance (on-net or off-net).
+using ServerId = TaggedId<ServerTag>;
+// An Internet exchange point.
+using IxpId = TaggedId<IxpTag>;
+
+// Canonical unordered key for an AS pair (order-independent); shared by
+// link sets, link matching and pair deduplication across modules.
+inline std::uint64_t asn_pair_key(Asn a, Asn b) {
+  const auto lo = a.value() < b.value() ? a.value() : b.value();
+  const auto hi = a.value() < b.value() ? b.value() : a.value();
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+}  // namespace itm
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<itm::TaggedId<Tag, Rep>> {
+  size_t operator()(itm::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

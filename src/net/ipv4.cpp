@@ -1,0 +1,61 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace itm {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || next == p) return std::nullopt;
+    bits = (bits << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(bits);
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((bits_ >> shift) & 0xff);
+    if (shift > 0) out += '.';
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Addr a) {
+  return os << a.to_string();
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const char* p = text.data() + slash + 1;
+  const char* end = text.data() + text.size();
+  auto [next, ec] = std::from_chars(p, end, length);
+  if (ec != std::errc{} || next != end || length > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(length));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& p) {
+  return os << p.to_string();
+}
+
+}  // namespace itm

@@ -1,0 +1,164 @@
+// Binary (Patricia-style path of single bits) trie keyed by IPv4 prefixes,
+// supporting exact-match insert/lookup and longest-prefix match — the core
+// lookup structure for routing tables, address allocation and ECS scoping.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace itm {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  // Inserts or overwrites the value at an exact prefix.
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    Node* node = descend_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  // Exact-match lookup.
+  [[nodiscard]] const Value* find(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      node = node->child(bit_at(prefix.base(), depth));
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  [[nodiscard]] Value* find(const Ipv4Prefix& prefix) {
+    return const_cast<Value*>(std::as_const(*this).find(prefix));
+  }
+
+  // Longest-prefix match for a single address. Returns the matched prefix and
+  // value, or nullopt when no covering prefix exists.
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, std::reference_wrapper<const Value>>>
+  longest_match(Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    const Node* best = node->value ? node : nullptr;
+    std::uint8_t best_depth = 0;
+    for (std::uint8_t depth = 0; depth < 32; ++depth) {
+      node = node->child(bit_at(addr, depth));
+      if (node == nullptr) break;
+      if (node->value) {
+        best = node;
+        best_depth = static_cast<std::uint8_t>(depth + 1);
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Ipv4Prefix(addr, best_depth),
+                          std::cref(*best->value));
+  }
+
+  // Longest *covering* prefix of a prefix (the most-specific entry whose
+  // prefix contains the query prefix, possibly the query itself).
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, std::reference_wrapper<const Value>>>
+  longest_covering(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    const Node* best = node->value ? node : nullptr;
+    std::uint8_t best_depth = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      node = node->child(bit_at(prefix.base(), depth));
+      if (node == nullptr) break;
+      if (node->value) {
+        best = node;
+        best_depth = static_cast<std::uint8_t>(depth + 1);
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Ipv4Prefix(prefix.base(), best_depth),
+                          std::cref(*best->value));
+  }
+
+  // Removes an exact prefix; returns true when an entry was removed.
+  bool erase(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      node = node->child(bit_at(prefix.base(), depth));
+      if (node == nullptr) return false;
+    }
+    if (!node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Visits every (prefix, value) in lexicographic prefix order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_.get(), Ipv4Prefix(Ipv4Addr(0), 0), fn);
+  }
+
+  // All entries as a vector (mostly for tests and reporting).
+  [[nodiscard]] std::vector<std::pair<Ipv4Prefix, Value>> entries() const {
+    std::vector<std::pair<Ipv4Prefix, Value>> out;
+    out.reserve(size_);
+    for_each([&](const Ipv4Prefix& p, const Value& v) { out.emplace_back(p, v); });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+
+    [[nodiscard]] const Node* child(int bit) const {
+      return children[bit].get();
+    }
+    [[nodiscard]] Node* child(int bit) { return children[bit].get(); }
+  };
+
+  static int bit_at(Ipv4Addr addr, std::uint8_t depth) {
+    return (addr.bits() >> (31 - depth)) & 1u;
+  }
+
+  Node* descend_create(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = bit_at(prefix.base(), depth);
+      if (node->children[bit] == nullptr) {
+        node->children[bit] = std::make_unique<Node>();
+      }
+      node = node->children[bit].get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  static void visit(const Node* node, Ipv4Prefix at, Fn& fn) {
+    if (node->value) fn(at, *node->value);
+    for (int bit = 0; bit < 2; ++bit) {
+      if (node->children[bit]) {
+        const std::uint8_t len = static_cast<std::uint8_t>(at.length() + 1);
+        const std::uint32_t next_base =
+            at.base().bits() |
+            (static_cast<std::uint32_t>(bit) << (32 - len));
+        visit(node->children[bit].get(), Ipv4Prefix(Ipv4Addr(next_base), len),
+              fn);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace itm

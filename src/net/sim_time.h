@@ -1,0 +1,48 @@
+// Simulated wall-clock time and diurnal activity shaping.
+//
+// Simulation time is seconds from the experiment epoch. The diurnal model
+// maps (time, longitude) to a local activity multiplier, peaking in the local
+// evening, which drives both the traffic ground truth and the IP ID velocity
+// experiment.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace itm {
+
+// Seconds since experiment epoch.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kSecondsPerMinute = 60;
+constexpr SimTime kSecondsPerHour = 3600;
+constexpr SimTime kSecondsPerDay = 86400;
+
+// Local solar hour-of-day in [0, 24) at the given longitude.
+[[nodiscard]] inline double local_hour(SimTime t, double lon_deg) {
+  const double utc_hour =
+      static_cast<double>(t % kSecondsPerDay) / kSecondsPerHour;
+  double h = utc_hour + lon_deg / 15.0;
+  h = std::fmod(h, 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+
+// Relative user activity multiplier as a function of local hour. Smooth
+// sinusoidal day/night curve peaking at 21:00 local with trough ~4:30, mean
+// 1.0 over a full day: a(h) = 1 + depth * cos(2*pi*(h - peak)/24).
+[[nodiscard]] inline double diurnal_multiplier(double local_hour_of_day,
+                                               double depth = 0.75) {
+  constexpr double kPeakHour = 21.0;
+  return 1.0 + depth * std::cos(2.0 * std::numbers::pi *
+                                (local_hour_of_day - kPeakHour) / 24.0);
+}
+
+// Convenience: activity multiplier at simulation time t for longitude lon.
+[[nodiscard]] inline double diurnal_at(SimTime t, double lon_deg,
+                                       double depth = 0.75) {
+  return diurnal_multiplier(local_hour(t, lon_deg), depth);
+}
+
+}  // namespace itm

@@ -1,0 +1,205 @@
+#include "net/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace itm {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0;
+  for (const double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Average ranks with ties sharing the mean rank.
+std::vector<double> ranks_of(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const auto rx = ranks_of(x.subspan(0, n));
+  const auto ry = ranks_of(y.subspan(0, n));
+  return pearson(rx, ry);
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double prod = dx * dy;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+void WeightedCdf::add(double value, double weight) {
+  if (weight <= 0) return;
+  samples_.emplace_back(value, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void WeightedCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double WeightedCdf::fraction_at_or_below(double x) const {
+  if (samples_.empty() || total_weight_ <= 0) return 0.0;
+  ensure_sorted();
+  double acc = 0;
+  for (const auto& [value, weight] : samples_) {
+    if (value > x) break;
+    acc += weight;
+  }
+  return acc / total_weight_;
+}
+
+double WeightedCdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_weight_;
+  double acc = 0;
+  for (const auto& [value, weight] : samples_) {
+    acc += weight;
+    if (acc >= target) return value;
+  }
+  return samples_.back().first;
+}
+
+std::vector<std::pair<double, double>> WeightedCdf::curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  const double lo = samples_.front().first;
+  const double hi = samples_.back().first;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? hi
+                    : lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_at_or_below(x));
+  }
+  return out;
+}
+
+double gini(std::span<const double> masses) {
+  if (masses.size() < 2) return 0.0;
+  std::vector<double> sorted(masses.begin(), masses.end());
+  std::sort(sorted.begin(), sorted.end());
+  double cumulative = 0, weighted_sum = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    weighted_sum += sorted[i] * static_cast<double>(i + 1);
+  }
+  if (cumulative <= 0) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  return (2.0 * weighted_sum) / (n * cumulative) - (n + 1.0) / n;
+}
+
+double top_k_share(std::span<const double> masses, std::size_t k) {
+  if (masses.empty() || k == 0) return 0.0;
+  std::vector<double> sorted(masses.begin(), masses.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0) return 0.0;
+  k = std::min(k, sorted.size());
+  const double top = std::accumulate(sorted.begin(), sorted.begin() + static_cast<long>(k), 0.0);
+  return top / total;
+}
+
+}  // namespace itm

@@ -1,0 +1,85 @@
+// Statistical helpers used by the inference layer and the benchmark
+// harnesses: summary statistics, correlation (Pearson & Spearman), ordinary
+// least squares, and — centrally for this paper — weighted empirical CDFs.
+//
+// The paper's thesis is that unweighted CDFs over paths/networks mislead;
+// WeightedCdf lets every analysis be run both ways so benches can show the
+// contrast the paper calls out.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace itm {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+// Pearson product-moment correlation; returns 0 for degenerate input.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares y = slope*x + intercept.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+// Kendall tau-a over two equally-long vectors (used to score rank agreement
+// between inferred activity and ground truth).
+[[nodiscard]] double kendall_tau(std::span<const double> x,
+                                 std::span<const double> y);
+
+// Empirical CDF over weighted samples. With unit weights this is the
+// classic unweighted CDF the paper rails against; with traffic/user weights
+// it is the traffic-weighted view the ITM enables.
+class WeightedCdf {
+ public:
+  void add(double value, double weight = 1.0);
+
+  // Fraction of total weight at values <= x. Empty CDF returns 0.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  // Value at quantile q in [0,1] (weighted). Empty CDF returns 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+  // Evenly spaced (value, cumulative fraction) points for printing curves.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points = 20) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
+  mutable bool sorted_ = true;
+  double total_weight_ = 0.0;
+};
+
+// Gini coefficient of a set of non-negative masses — used to report traffic
+// concentration ("a handful of providers carry most traffic").
+[[nodiscard]] double gini(std::span<const double> masses);
+
+// Fraction of total mass held by the k largest entries.
+[[nodiscard]] double top_k_share(std::span<const double> masses, std::size_t k);
+
+}  // namespace itm

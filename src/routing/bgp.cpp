@@ -1,0 +1,165 @@
+#include "routing/bgp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itm::routing {
+
+using topology::Relation;
+
+const char* to_string(RouteSource source) {
+  switch (source) {
+    case RouteSource::kOrigin: return "origin";
+    case RouteSource::kCustomer: return "customer";
+    case RouteSource::kPeer: return "peer";
+    case RouteSource::kProvider: return "provider";
+    case RouteSource::kNone: return "none";
+  }
+  return "unknown";
+}
+
+std::vector<Asn> RouteTable::path_from(Asn src) const {
+  std::vector<Asn> path;
+  const RouteEntry* entry = &at(src);
+  if (!entry->reachable()) return path;
+  Asn current = src;
+  path.push_back(current);
+  while (entry->source != RouteSource::kOrigin) {
+    current = entry->next_hop;
+    entry = &at(current);
+    assert(entry->reachable() && "next_hop chain must terminate at origin");
+    path.push_back(current);
+    assert(path.size() <= size() && "route table contains a loop");
+  }
+  return path;
+}
+
+Asn RouteTable::penultimate(Asn src) const {
+  const auto path = path_from(src);
+  if (path.size() < 2) return src;
+  return path[path.size() - 2];
+}
+
+RouteTable Bgp::routes_to(Asn dest) const {
+  const Asn origins[] = {dest};
+  return routes_to_set(origins);
+}
+
+RouteTable Bgp::routes_to_set(std::span<const Asn> origins) const {
+  const auto& graph = *graph_;
+  const std::size_t n = graph.size();
+  std::vector<RouteEntry> entries(n);
+
+  // ---- Seed origins.
+  std::vector<Asn> frontier;
+  std::vector<Asn> origin_list;
+  for (const Asn o : origins) {
+    if (entries[o.value()].source == RouteSource::kOrigin) continue;
+    // Index into the deduplicated origin list (the one returned via
+    // origins()), not into the raw input span.
+    entries[o.value()] = RouteEntry{
+        RouteSource::kOrigin, 0, o,
+        static_cast<std::uint16_t>(origin_list.size())};
+    frontier.push_back(o);
+    origin_list.push_back(o);
+  }
+
+  // ---- Stage 1: customer routes. Level-synchronous BFS up provider edges;
+  // all parents of a level are considered before children are fixed, so the
+  // lowest-ASN parent wins ties deterministically.
+  std::vector<Asn> next_frontier;
+  std::vector<Asn> touched;
+  std::uint16_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next_frontier.clear();
+    touched.clear();
+    for (const Asn u : frontier) {
+      for (const auto& nb : graph.neighbors(u)) {
+        if (nb.relation != Relation::kProvider) continue;  // u exports up
+        RouteEntry& e = entries[nb.asn.value()];
+        if (e.source == RouteSource::kOrigin) continue;
+        if (e.source == RouteSource::kCustomer && e.hops < level) continue;
+        if (e.source == RouteSource::kCustomer && e.hops == level) {
+          if (u.value() < e.next_hop.value()) {
+            e.next_hop = u;
+            e.origin_index = entries[u.value()].origin_index;
+          }
+          continue;
+        }
+        // First customer route for this AS (at this minimal level).
+        e = RouteEntry{RouteSource::kCustomer, level, u,
+                       entries[u.value()].origin_index};
+        next_frontier.push_back(nb.asn);
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+
+  // ---- Stage 2: peer routes. An AS with a customer route (or an origin)
+  // exports it across each peering link; the receiver accepts only when it
+  // has no customer route itself, choosing (shortest, lowest-ASN) neighbor.
+  for (std::size_t v = 0; v < n; ++v) {
+    RouteEntry& e = entries[v];
+    if (e.source == RouteSource::kOrigin ||
+        e.source == RouteSource::kCustomer) {
+      continue;
+    }
+    for (const auto& nb : graph.neighbors(Asn(static_cast<std::uint32_t>(v)))) {
+      if (nb.relation != Relation::kPeer) continue;
+      const RouteEntry& u = entries[nb.asn.value()];
+      if (u.source != RouteSource::kOrigin &&
+          u.source != RouteSource::kCustomer) {
+        continue;
+      }
+      const auto hops = static_cast<std::uint16_t>(u.hops + 1);
+      const bool better =
+          e.source != RouteSource::kPeer || hops < e.hops ||
+          (hops == e.hops && nb.asn.value() < e.next_hop.value());
+      if (better) {
+        e = RouteEntry{RouteSource::kPeer, hops, nb.asn, u.origin_index};
+      }
+    }
+  }
+
+  // ---- Stage 3: provider routes. Every routed AS exports its best route to
+  // its customers; propagate in increasing path length (bucket queue) so the
+  // shortest provider route is fixed first, min-ASN parent on ties.
+  std::vector<std::vector<Asn>> buckets;
+  const auto push_bucket = [&buckets](std::uint16_t hops, Asn asn) {
+    if (buckets.size() <= hops) buckets.resize(hops + 1);
+    buckets[hops].push_back(asn);
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (entries[v].reachable()) {
+      push_bucket(entries[v].hops, Asn(static_cast<std::uint32_t>(v)));
+    }
+  }
+  for (std::uint16_t hops = 0; hops < buckets.size(); ++hops) {
+    // buckets may grow while iterating; index-based loop is intentional.
+    for (std::size_t bi = 0; bi < buckets[hops].size(); ++bi) {
+      const Asn u = buckets[hops][bi];
+      const RouteEntry& ue = entries[u.value()];
+      if (ue.hops != hops) continue;  // stale bucket entry
+      const auto child_hops = static_cast<std::uint16_t>(hops + 1);
+      for (const auto& nb : graph.neighbors(u)) {
+        if (nb.relation != Relation::kCustomer) continue;
+        RouteEntry& e = entries[nb.asn.value()];
+        if (e.source == RouteSource::kNone) {
+          e = RouteEntry{RouteSource::kProvider, child_hops, u,
+                         ue.origin_index};
+          push_bucket(child_hops, nb.asn);
+        } else if (e.source == RouteSource::kProvider &&
+                   e.hops == child_hops &&
+                   u.value() < e.next_hop.value()) {
+          e.next_hop = u;
+          e.origin_index = ue.origin_index;
+        }
+      }
+    }
+  }
+
+  return RouteTable(std::move(entries), std::move(origin_list));
+}
+
+}  // namespace itm::routing

@@ -1,0 +1,92 @@
+// AS-level BGP policy routing.
+//
+// Computes, for every AS, the best route toward a destination AS (or a set
+// of anycast origins) under the standard Gao-Rexford model:
+//   * valley-free export: routes learned from a customer are exported to
+//     everyone; routes learned from a peer or provider only to customers;
+//   * selection: prefer customer-learned > peer-learned > provider-learned,
+//     then shortest AS path, then lowest next-hop ASN (deterministic).
+//
+// The implementation is the three-stage propagation used in routing
+// simulation literature: (1) customer routes via BFS up provider edges from
+// the origin, (2) peer routes one peering hop off any customer route,
+// (3) provider routes via a length-bucketed BFS down customer edges.
+// One propagation is O(V + E); route tables are dense arrays indexed by ASN.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "net/ids.h"
+#include "topology/as_graph.h"
+
+namespace itm::routing {
+
+enum class RouteSource : std::uint8_t {
+  kOrigin,    // this AS originates the destination
+  kCustomer,  // learned from a customer
+  kPeer,      // learned from a peer
+  kProvider,  // learned from a provider
+  kNone,      // unreachable
+};
+
+[[nodiscard]] const char* to_string(RouteSource source);
+
+struct RouteEntry {
+  RouteSource source = RouteSource::kNone;
+  // AS-path length in hops (origin has 0, its neighbor 1, ...).
+  std::uint16_t hops = std::numeric_limits<std::uint16_t>::max();
+  // Neighbor toward the destination (undefined when source is kNone/kOrigin).
+  Asn next_hop{0};
+  // Which origin won (index into the origin set; 0 for single-origin).
+  std::uint16_t origin_index = 0;
+
+  [[nodiscard]] bool reachable() const { return source != RouteSource::kNone; }
+};
+
+// Best routes from every AS toward one destination (or anycast origin set).
+class RouteTable {
+ public:
+  RouteTable(std::vector<RouteEntry> entries, std::vector<Asn> origins)
+      : entries_(std::move(entries)), origins_(std::move(origins)) {}
+
+  [[nodiscard]] const RouteEntry& at(Asn asn) const {
+    return entries_[asn.value()];
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Asn>& origins() const { return origins_; }
+
+  // Full AS path from src to the winning origin, inclusive of both ends.
+  // Empty when src has no route.
+  [[nodiscard]] std::vector<Asn> path_from(Asn src) const;
+
+  // The AS immediately before the origin on src's path (the origin's
+  // ingress neighbor). For src == origin returns src itself.
+  [[nodiscard]] Asn penultimate(Asn src) const;
+
+ private:
+  std::vector<RouteEntry> entries_;
+  std::vector<Asn> origins_;
+};
+
+class Bgp {
+ public:
+  explicit Bgp(const topology::AsGraph& graph) : graph_(&graph) {}
+
+  // Best routes from every AS to `dest`.
+  [[nodiscard]] RouteTable routes_to(Asn dest) const;
+
+  // Best routes from every AS to the nearest (in policy terms) of several
+  // origins announcing the same prefix (anycast). Entries record which
+  // origin index won.
+  [[nodiscard]] RouteTable routes_to_set(std::span<const Asn> origins) const;
+
+  [[nodiscard]] const topology::AsGraph& graph() const { return *graph_; }
+
+ private:
+  const topology::AsGraph* graph_;
+};
+
+}  // namespace itm::routing

@@ -1,0 +1,42 @@
+#include "routing/prediction.h"
+
+namespace itm::routing {
+
+PredictionStats evaluate_prediction(const topology::AsGraph& truth,
+                                    const topology::AsGraph& observed,
+                                    const PublicView& view,
+                                    std::span<const Asn> sources,
+                                    std::span<const Asn> destinations) {
+  PredictionStats stats;
+  const Bgp truth_bgp(truth);
+  const Bgp observed_bgp(observed);
+  for (const Asn dest : destinations) {
+    const RouteTable true_table = truth_bgp.routes_to(dest);
+    const RouteTable pred_table = observed_bgp.routes_to(dest);
+    for (const Asn src : sources) {
+      if (src == dest || !true_table.at(src).reachable()) continue;
+      ++stats.total;
+      const auto true_path = true_table.path_from(src);
+      bool missing = false;
+      for (std::size_t i = 0; i + 1 < true_path.size(); ++i) {
+        if (!view.observed(true_path[i], true_path[i + 1])) {
+          missing = true;
+          break;
+        }
+      }
+      if (missing) ++stats.true_path_missing_link;
+      if (!pred_table.at(src).reachable()) {
+        ++stats.unreachable;
+        continue;
+      }
+      if (pred_table.path_from(src) == true_path) {
+        ++stats.exact;
+      } else {
+        ++stats.wrong;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace itm::routing

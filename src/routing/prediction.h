@@ -1,0 +1,46 @@
+// AS-path prediction over an (incomplete) observed topology, and its
+// evaluation against ground truth.
+//
+// Prediction is Gao-Rexford routing computed on the observed subgraph — the
+// standard academic approach (§3.3.1). The evaluation separates failures
+// caused by missing links (the paper's headline: more than half of paths to
+// root DNS could not be predicted) from mere tie-break mismatches.
+#pragma once
+
+#include <span>
+
+#include "net/ids.h"
+#include "routing/bgp.h"
+#include "routing/public_view.h"
+
+namespace itm::routing {
+
+struct PredictionStats {
+  std::size_t total = 0;
+  // Predicted path identical to the true path.
+  std::size_t exact = 0;
+  // Predicted path differs but reaches the destination.
+  std::size_t wrong = 0;
+  // No route in the observed topology.
+  std::size_t unreachable = 0;
+  // True path uses at least one link absent from the observed topology
+  // ("could not be predicted due to missing links").
+  std::size_t true_path_missing_link = 0;
+
+  [[nodiscard]] double exact_rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(exact) / total;
+  }
+  [[nodiscard]] double missing_link_rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(true_path_missing_link) / total;
+  }
+};
+
+// Compares predicted vs. true best paths for every (src, dest) pair.
+// `truth` and `observed` must be graphs over the same dense ASN space.
+[[nodiscard]] PredictionStats evaluate_prediction(
+    const topology::AsGraph& truth, const topology::AsGraph& observed,
+    const PublicView& view, std::span<const Asn> sources,
+    std::span<const Asn> destinations);
+
+}  // namespace itm::routing

@@ -1,0 +1,52 @@
+#include "routing/public_view.h"
+
+namespace itm::routing {
+
+using topology::AsGraph;
+using topology::AsInfo;
+using topology::Relation;
+
+double PublicView::coverage(const AsGraph& graph) const {
+  if (graph.links().empty()) return 0.0;
+  std::size_t seen = 0;
+  for (const auto& link : graph.links()) {
+    if (observed(link.a, link.b)) ++seen;
+  }
+  return static_cast<double>(seen) /
+         static_cast<double>(graph.links().size());
+}
+
+double PublicView::peering_coverage(const AsGraph& graph) const {
+  std::size_t peering = 0, seen = 0;
+  for (const auto& link : graph.links()) {
+    if (link.a_to_b != Relation::kPeer) continue;
+    ++peering;
+    if (observed(link.a, link.b)) ++seen;
+  }
+  return peering == 0 ? 0.0
+                      : static_cast<double>(seen) / static_cast<double>(peering);
+}
+
+PublicView collect_public_view(const Bgp& bgp, std::span<const Asn> feeders,
+                               std::span<const Asn> destinations) {
+  PublicView view;
+  for (const Asn dest : destinations) {
+    const RouteTable table = bgp.routes_to(dest);
+    for (const Asn feeder : feeders) {
+      const auto path = table.path_from(feeder);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        view.add_link(path[i], path[i + 1]);
+      }
+    }
+  }
+  return view;
+}
+
+topology::AsGraph observed_subgraph(const AsGraph& graph,
+                                    const PublicView& view) {
+  return topology::copy_graph(graph, [&view](const topology::Link& link) {
+    return view.observed(link.a, link.b);
+  });
+}
+
+}  // namespace itm::routing

@@ -1,0 +1,57 @@
+// The public, route-collector view of the AS topology.
+//
+// Route collectors receive best paths from a set of feeder ASes (the
+// analogue of RouteViews/RIPE RIS peers). A link is "visible" only when it
+// appears on some feeder's best path to some destination. Peering links of
+// hypergiants and eyeballs rarely lie on such paths, so most of them are
+// invisible — the paper's §3.3.1 obstacle, and [4]'s ">90% of IXP peerings
+// not visible" observation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+
+#include "net/ids.h"
+#include "routing/bgp.h"
+#include "topology/as_graph.h"
+
+namespace itm::routing {
+
+class PublicView {
+ public:
+  void add_link(Asn a, Asn b) { links_.insert(asn_pair_key(a, b)); }
+
+  // Union with another view (e.g. cloud-vantage observations, §3.3.2).
+  void merge(const PublicView& other) {
+    links_.insert(other.links_.begin(), other.links_.end());
+  }
+  [[nodiscard]] bool observed(Asn a, Asn b) const {
+    return links_.contains(asn_pair_key(a, b));
+  }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  // Fraction of the graph's links that are observed.
+  [[nodiscard]] double coverage(const topology::AsGraph& graph) const;
+
+  // Fraction of *peering* links observed (transit links are nearly always
+  // visible; peering visibility is the interesting number).
+  [[nodiscard]] double peering_coverage(const topology::AsGraph& graph) const;
+
+ private:
+  std::unordered_set<std::uint64_t> links_;
+};
+
+// Simulates collectors peering with `feeders`: every feeder contributes its
+// best path to every destination in `destinations`.
+[[nodiscard]] PublicView collect_public_view(
+    const Bgp& bgp, std::span<const Asn> feeders,
+    std::span<const Asn> destinations);
+
+// A copy of the graph containing only observed links (all ASes retained,
+// true relationships assumed correctly inferred). This is the topology a
+// researcher would feed a path-prediction algorithm.
+[[nodiscard]] topology::AsGraph observed_subgraph(
+    const topology::AsGraph& graph, const PublicView& view);
+
+}  // namespace itm::routing

@@ -1,0 +1,104 @@
+#include "scan/cache_prober.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace itm::scan {
+
+CacheProber::CacheProber(const dns::DnsSystem& dns,
+                         const cdn::ServiceCatalog& catalog,
+                         const CacheProbeConfig& config,
+                         const topology::AddressPlan* plan)
+    : dns_(&dns),
+      catalog_(&catalog),
+      config_(config),
+      plan_(plan),
+      loss_rng_(config.loss_seed) {
+  assert(!config.record_sweeps || plan != nullptr);
+  // A measurer would pick popular domains known to support ECS; popularity
+  // rank is public knowledge (top lists).
+  for (const ServiceId id : catalog.by_popularity()) {
+    const auto& s = catalog.service(id);
+    if (s.redirection == cdn::RedirectionKind::kDnsRedirection &&
+        s.supports_ecs) {
+      probe_list_.push_back(id);
+      if (probe_list_.size() >= config.probe_services) break;
+    }
+  }
+}
+
+void CacheProber::sweep(std::span<const Ipv4Prefix> prefixes, SimTime now) {
+  const std::size_t pops = dns_->public_pops().size();
+  SweepRecord* record = nullptr;
+  if (config_.record_sweeps) {
+    sweep_records_.emplace_back();
+    record = &sweep_records_.back();
+    record->at = now;
+  }
+  for (const Ipv4Prefix& prefix : prefixes) {
+    PrefixStats& stats = results_[prefix];
+    std::uint32_t prefix_hits = 0, prefix_probes = 0;
+    for (std::size_t pop = 0; pop < pops; ++pop) {
+      bool pop_hit = false;
+      for (const ServiceId sid : probe_list_) {
+        ++prefix_probes;
+        ++total_probes_;
+        if (config_.probe_loss > 0 && loss_rng_.bernoulli(config_.probe_loss)) {
+          continue;  // probe or response lost in flight
+        }
+        if (dns_->probe_cache(pop, catalog_->service(sid), prefix, now)) {
+          ++prefix_hits;
+          pop_hit = true;
+          if (config_.stop_after_first_hit) break;
+        }
+      }
+      if (pop_hit && pop < 64) stats.pops_seen |= std::uint64_t{1} << pop;
+    }
+    stats.hits += prefix_hits;
+    stats.probes += prefix_probes;
+    if (record != nullptr) {
+      if (const auto asn = plan_->origin_of(prefix)) {
+        auto& [hits, probes] = record->by_as[asn->value()];
+        hits += prefix_hits;
+        probes += prefix_probes;
+      }
+    }
+  }
+}
+
+std::vector<Ipv4Prefix> CacheProber::detected_prefixes() const {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& [prefix, stats] : results_) {
+    if (stats.hits > 0) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> CacheProber::prefixes_per_pop() const {
+  std::vector<std::size_t> counts(dns_->public_pops().size(), 0);
+  for (const auto& [prefix, stats] : results_) {
+    for (std::size_t pop = 0; pop < counts.size() && pop < 64; ++pop) {
+      if (stats.pops_seen & (std::uint64_t{1} << pop)) ++counts[pop];
+    }
+  }
+  return counts;
+}
+
+std::unordered_map<std::uint32_t, double> CacheProber::hit_rate_by_as(
+    const topology::AddressPlan& plan) const {
+  std::unordered_map<std::uint32_t, double> hits, probes;
+  for (const auto& [prefix, stats] : results_) {
+    const auto asn = plan.origin_of(prefix);
+    if (!asn) continue;
+    hits[asn->value()] += stats.hits;
+    probes[asn->value()] += stats.probes;
+  }
+  std::unordered_map<std::uint32_t, double> rate;
+  for (const auto& [asn, p] : probes) {
+    if (p > 0) rate[asn] = hits[asn] / p;
+  }
+  return rate;
+}
+
+}  // namespace itm::scan

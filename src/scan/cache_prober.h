@@ -1,0 +1,101 @@
+// ECS cache probing of the public resolver (§3.1.2, approach 1).
+//
+// The prober iterates routable /24s and, for each, issues non-recursive
+// ECS-scoped queries for a handful of popular ECS-supporting domains against
+// each public-resolver PoP. A hit means a client in that prefix resolved the
+// domain at that PoP within the record's TTL — evidence of client activity.
+// Hit counts accumulated over repeated sweeps provide the relative-activity
+// signal explored in Figure 2.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/rng.h"
+
+#include "cdn/services.h"
+#include "topology/address_plan.h"
+#include "dns/system.h"
+
+namespace itm::scan {
+
+struct CacheProbeConfig {
+  // Number of most-popular ECS-supporting DNS-redirection services probed.
+  std::size_t probe_services = 10;
+  // Stop probing a (prefix, PoP) after the first hit in a sweep (cheaper,
+  // detection-only mode; disable to measure hit *rates*).
+  bool stop_after_first_hit = false;
+  // Record a per-sweep, per-AS hit-rate time series (enables hourly
+  // activity estimation; requires an AddressPlan at construction).
+  bool record_sweeps = false;
+  // Fraction of probes lost in flight (rate limiting, packet loss). Lost
+  // probes count toward `probes` (the measurer paid for them) but can
+  // never hit — real sweeps against public resolvers see some loss.
+  double probe_loss = 0.0;
+  // Seed for the deterministic loss process.
+  std::uint64_t loss_seed = 0x10c;
+};
+
+class CacheProber {
+ public:
+  CacheProber(const dns::DnsSystem& dns, const cdn::ServiceCatalog& catalog,
+              const CacheProbeConfig& config = {},
+              const topology::AddressPlan* plan = nullptr);
+
+  // One sweep over `prefixes` at simulated time `now`, across all PoPs.
+  void sweep(std::span<const Ipv4Prefix> prefixes, SimTime now);
+
+  struct PrefixStats {
+    std::uint32_t hits = 0;
+    std::uint32_t probes = 0;
+    // Bitmask of PoPs where this prefix was ever seen (PoP count <= 64).
+    std::uint64_t pops_seen = 0;
+  };
+
+  [[nodiscard]] const std::unordered_map<Ipv4Prefix, PrefixStats>& results()
+      const {
+    return results_;
+  }
+
+  // Prefixes with at least one hit.
+  [[nodiscard]] std::vector<Ipv4Prefix> detected_prefixes() const;
+
+  // Distinct detected prefixes per public PoP (Figure 1a's series).
+  [[nodiscard]] std::vector<std::size_t> prefixes_per_pop() const;
+
+  // Hit rate (hits / probes) aggregated per AS, using an origin lookup.
+  [[nodiscard]] std::unordered_map<std::uint32_t, double> hit_rate_by_as(
+      const topology::AddressPlan& plan) const;
+
+  [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
+
+  // Per-sweep, per-AS hit counts (only populated when record_sweeps is on).
+  struct SweepRecord {
+    SimTime at = 0;
+    // asn -> (hits, probes) within this sweep.
+    std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+        by_as;
+  };
+  [[nodiscard]] const std::vector<SweepRecord>& sweep_records() const {
+    return sweep_records_;
+  }
+
+  // The services this prober actually probes (popular + ECS + DNS-redirected).
+  [[nodiscard]] std::span<const ServiceId> probed_services() const {
+    return probe_list_;
+  }
+
+ private:
+  const dns::DnsSystem* dns_;
+  const cdn::ServiceCatalog* catalog_;
+  CacheProbeConfig config_;
+  const topology::AddressPlan* plan_;
+  std::vector<ServiceId> probe_list_;
+  std::unordered_map<Ipv4Prefix, PrefixStats> results_;
+  std::vector<SweepRecord> sweep_records_;
+  std::uint64_t total_probes_ = 0;
+  Rng loss_rng_;
+};
+
+}  // namespace itm::scan

@@ -1,0 +1,20 @@
+#include "scan/catchment.h"
+
+namespace itm::scan {
+
+CatchmentMap measure_catchments(const cdn::ClientMapper& mapper,
+                                HypergiantId hypergiant,
+                                std::span<const Asn> client_ases) {
+  CatchmentMap map;
+  map.hypergiant = hypergiant;
+  map.catchment.reserve(client_ases.size());
+  for (const Asn client : client_ases) {
+    // The probe's reply follows the client's BGP route back into the
+    // anycast prefix, landing at the catching site.
+    map.catchment.emplace(client.value(),
+                          mapper.anycast_site(hypergiant, client));
+  }
+  return map;
+}
+
+}  // namespace itm::scan

@@ -1,0 +1,37 @@
+// Verfploeter-style anycast catchment measurement (§3.2.3, [21]).
+//
+// With code running at each anycast site (edge-compute platforms make this
+// possible even for third parties, per the paper), one can probe out to
+// every network from the anycast prefix; each reply returns to the site
+// that catches that network, yielding the exact catchment map — replacing
+// the "clients reach their closest site" assumption.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/mapping.h"
+
+namespace itm::scan {
+
+struct CatchmentMap {
+  HypergiantId hypergiant;
+  // client AS -> PoP that catches it.
+  std::unordered_map<std::uint32_t, PopId> catchment;
+
+  [[nodiscard]] std::optional<PopId> site_of(Asn client) const {
+    const auto it = catchment.find(client.value());
+    return it == catchment.end() ? std::nullopt
+                                 : std::optional<PopId>(it->second);
+  }
+};
+
+// Probes every client AS from the hypergiant's anycast prefix and records
+// which site the reply reaches. Requires edge-compute access at the
+// operator (true for clouds/CDNs with worker platforms).
+[[nodiscard]] CatchmentMap measure_catchments(
+    const cdn::ClientMapper& mapper, HypergiantId hypergiant,
+    std::span<const Asn> client_ases);
+
+}  // namespace itm::scan

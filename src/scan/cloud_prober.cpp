@@ -1,0 +1,17 @@
+#include "scan/cloud_prober.h"
+
+#include "routing/bgp.h"
+
+namespace itm::scan {
+
+routing::PublicView probe_from_cloud(const topology::Topology& topo,
+                                     Asn cloud_as) {
+  const routing::Bgp bgp(topo.graph);
+  std::vector<Asn> destinations;
+  destinations.reserve(topo.graph.size());
+  for (const auto& as : topo.graph.ases()) destinations.push_back(as.asn);
+  const Asn feeders[] = {cloud_as};
+  return routing::collect_public_view(bgp, feeders, destinations);
+}
+
+}  // namespace itm::scan

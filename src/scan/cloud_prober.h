@@ -1,0 +1,22 @@
+// Measuring out from cloud vantage points (§3.3.2, [7]).
+//
+// Researchers can rent VMs inside cloud hypergiants and traceroute outward;
+// the forward paths reveal the cloud's peering links, which never appear in
+// route-collector feeds (peer-learned routes are not exported to
+// providers). The technique requires the operator to sell VMs — clouds do,
+// pure CDNs do not — which is exactly the limitation §3.3.3 opens with.
+#pragma once
+
+#include <span>
+
+#include "routing/public_view.h"
+#include "topology/generator.h"
+
+namespace itm::scan {
+
+// Links observed on forward paths from `cloud_as` to every destination —
+// equivalent to the cloud AS feeding a collector with its full table.
+[[nodiscard]] routing::PublicView probe_from_cloud(
+    const topology::Topology& topo, Asn cloud_as);
+
+}  // namespace itm::scan

@@ -1,0 +1,18 @@
+#include "scan/ecs_mapper.h"
+
+namespace itm::scan {
+
+std::unordered_map<Ipv4Prefix, Ipv4Addr> EcsMapper::sweep(
+    const cdn::Service& service,
+    std::span<const Ipv4Prefix> prefixes) const {
+  std::unordered_map<Ipv4Prefix, Ipv4Addr> out;
+  out.reserve(prefixes.size());
+  for (const Ipv4Prefix& prefix : prefixes) {
+    const auto answer =
+        authoritative_->answer(service, prefix, vantage_city_);
+    out.emplace(prefix, answer.address);
+  }
+  return out;
+}
+
+}  // namespace itm::scan

@@ -1,0 +1,33 @@
+// ECS probing of authoritative servers to emulate global vantage points
+// ([13, 56]; §3.2.1): a query carrying an arbitrary client prefix in the
+// EDNS0 Client Subnet option returns the front end that service would hand
+// to clients of that prefix. Sweeping all routable prefixes yields the full
+// client-to-server mapping for ECS-supporting services.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "cdn/services.h"
+#include "dns/authoritative.h"
+
+namespace itm::scan {
+
+class EcsMapper {
+ public:
+  EcsMapper(const dns::AuthoritativeDns& authoritative, CityId vantage_city)
+      : authoritative_(&authoritative), vantage_city_(vantage_city) {}
+
+  // Front end returned for each prefix. Only ECS-supporting DNS-redirection
+  // services expose per-prefix mappings; for others every prefix maps to
+  // the same answer (the VIP / the answer for the vantage location).
+  [[nodiscard]] std::unordered_map<Ipv4Prefix, Ipv4Addr> sweep(
+      const cdn::Service& service,
+      std::span<const Ipv4Prefix> prefixes) const;
+
+ private:
+  const dns::AuthoritativeDns* authoritative_;
+  CityId vantage_city_;
+};
+
+}  // namespace itm::scan

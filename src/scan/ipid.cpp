@@ -1,0 +1,106 @@
+#include "scan/ipid.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace itm::scan {
+
+std::uint16_t RouterModel::id_at(SimTime t) const {
+  // integral of base + traffic*(1 + depth*cos(omega*tau + phi0)) over [0,t].
+  constexpr double kOmega = 2.0 * std::numbers::pi / 86400.0;
+  const double phi0 =
+      2.0 * std::numbers::pi * (lon_deg / 15.0 - 21.0) / 24.0;
+  const double td = static_cast<double>(t);
+  const double integral =
+      base_ips * td + traffic_ips * td +
+      traffic_ips * diurnal_depth / kOmega *
+          (std::sin(kOmega * td + phi0) - std::sin(phi0));
+  const auto total = static_cast<std::uint64_t>(std::llround(integral));
+  return static_cast<std::uint16_t>((initial + total) & 0xffff);
+}
+
+RouterFleet RouterFleet::build(const topology::Topology& topo,
+                               const traffic::TrafficMatrix& matrix,
+                               const RouterFleetConfig& config, Rng& rng) {
+  RouterFleet fleet;
+  const auto& graph = topo.graph;
+  fleet.forwarded_bytes_.assign(graph.size(), 0.0);
+  const auto link_bytes = matrix.link_bytes();
+  for (std::size_t li = 0; li < graph.links().size(); ++li) {
+    const auto& link = graph.links()[li];
+    fleet.forwarded_bytes_[link.a.value()] += link_bytes[li];
+    fleet.forwarded_bytes_[link.b.value()] += link_bytes[li];
+  }
+  double max_fwd = 0;
+  for (const double b : fleet.forwarded_bytes_) max_fwd = std::max(max_fwd, b);
+
+  fleet.routers_.reserve(graph.size());
+  for (const auto& as : graph.ases()) {
+    RouterModel r;
+    r.asn = as.asn;
+    r.interface = topo.addresses.of(as.asn).infra_slash24.address_at(1);
+    r.lon_deg = topo.geography.city(as.home_city).location.lon_deg;
+    r.base_ips = rng.uniform(0.5, 5.0);
+    const double fwd = fleet.forwarded_bytes_[as.asn.value()];
+    r.traffic_ips =
+        max_fwd <= 0
+            ? config.min_traffic_ips
+            : config.min_traffic_ips +
+                  (config.max_traffic_ips - config.min_traffic_ips) *
+                      (fwd / max_fwd);
+    r.diurnal_depth = rng.uniform(0.6, 0.85);
+    r.initial = static_cast<std::uint16_t>(rng.next_below(65536));
+    fleet.by_interface_.emplace(r.interface, fleet.routers_.size());
+    fleet.routers_.push_back(r);
+  }
+  return fleet;
+}
+
+const RouterModel* RouterFleet::at(Ipv4Addr interface) const {
+  const auto it = by_interface_.find(interface);
+  return it == by_interface_.end() ? nullptr : &routers_[it->second];
+}
+
+std::optional<std::uint16_t> IpIdProber::ping(Ipv4Addr interface,
+                                              SimTime t) const {
+  const RouterModel* router = fleet_->at(interface);
+  if (router == nullptr) return std::nullopt;
+  return router->id_at(t);
+}
+
+std::optional<double> IpIdProber::estimate_velocity(Ipv4Addr interface,
+                                                    SimTime start, SimTime end,
+                                                    SimTime interval) const {
+  if (end <= start || interval == 0) return std::nullopt;
+  const RouterModel* router = fleet_->at(interface);
+  if (router == nullptr) return std::nullopt;
+  std::uint64_t increments = 0;
+  std::uint16_t prev = router->id_at(start);
+  SimTime t = start + interval;
+  SimTime last = start;
+  for (; t <= end; t += interval) {
+    const std::uint16_t cur = router->id_at(t);
+    increments += static_cast<std::uint16_t>(cur - prev);  // 16-bit unwrap
+    prev = cur;
+    last = t;
+  }
+  if (last == start) return std::nullopt;
+  return static_cast<double>(increments) / static_cast<double>(last - start);
+}
+
+std::vector<double> IpIdProber::velocity_profile(Ipv4Addr interface,
+                                                 SimTime start,
+                                                 std::size_t hours,
+                                                 SimTime interval) const {
+  std::vector<double> out;
+  out.reserve(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    const SimTime s = start + h * kSecondsPerHour;
+    out.push_back(
+        estimate_velocity(interface, s, s + kSecondsPerHour, interval)
+            .value_or(0.0));
+  }
+  return out;
+}
+
+}  // namespace itm::scan

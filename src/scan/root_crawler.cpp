@@ -1,0 +1,18 @@
+#include "scan/root_crawler.h"
+
+namespace itm::scan {
+
+RootCrawlResult crawl_root_logs(const dns::DnsSystem& dns,
+                                const topology::AddressPlan& plan) {
+  RootCrawlResult result;
+  for (const auto& [resolver, count] : dns.roots().crawl()) {
+    result.total_crawled += count;
+    const auto asn = plan.origin_of(resolver);
+    if (!asn) continue;
+    result.queries_by_as[asn->value()] += count;
+    result.total_attributed += count;
+  }
+  return result;
+}
+
+}  // namespace itm::scan

@@ -1,0 +1,38 @@
+// Crawling root DNS logs for Chromium probe queries (§3.1.2, approach 2).
+//
+// Root logs record the *recursive resolver's* address. Attributing a
+// resolver to its origin AS is public information (BGP). Queries arriving
+// via the public resolver are attributed to its operator's AS — the
+// technique's inherent blind spot, which caps its coverage well below cache
+// probing's (the paper's 60% vs 95%).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dns/system.h"
+#include "topology/address_plan.h"
+
+namespace itm::scan {
+
+struct RootCrawlResult {
+  // Chromium-probe query count per resolver-hosting AS.
+  std::unordered_map<std::uint32_t, std::uint64_t> queries_by_as;
+  std::uint64_t total_attributed = 0;
+  std::uint64_t total_crawled = 0;
+
+  [[nodiscard]] std::vector<Asn> detected_ases() const {
+    std::vector<Asn> out;
+    out.reserve(queries_by_as.size());
+    for (const auto& [asn, count] : queries_by_as) {
+      if (count > 0) out.push_back(Asn(asn));
+    }
+    return out;
+  }
+};
+
+// Crawls the open root letters and aggregates per-AS activity.
+[[nodiscard]] RootCrawlResult crawl_root_logs(
+    const dns::DnsSystem& dns, const topology::AddressPlan& plan);
+
+}  // namespace itm::scan

@@ -1,0 +1,91 @@
+#include "scan/tls_scanner.h"
+
+#include <algorithm>
+
+namespace itm::scan {
+
+std::vector<const DiscoveredEndpoint*> TlsScanResult::operated_by(
+    std::string_view operator_name) const {
+  std::vector<const DiscoveredEndpoint*> out;
+  for (const auto& ep : endpoints) {
+    if (ep.inferred_operator == operator_name) out.push_back(&ep);
+  }
+  return out;
+}
+
+TlsScanResult TlsScanner::sweep(
+    std::span<const std::string> operator_names) const {
+  TlsScanResult result;
+  // Scanning every address of every routable /24 is the simulation analogue
+  // of a full IPv4 TLS sweep. Listening endpoints are sparse, so we walk the
+  // inventory keyed by address but still count probed addresses honestly.
+  result.addresses_probed = plan_->total_slash24_count() * 256;
+
+  for (const auto& [address, ep] : inventory_->all()) {
+    DiscoveredEndpoint found;
+    found.address = address;
+    found.cert_names = ep.default_cert_names;
+    if (const auto asn = plan_->origin_of(address)) {
+      found.origin_as = *asn;
+    }
+    // Match certificate subjects against known operator patterns.
+    for (const auto& op : operator_names) {
+      const bool match = std::any_of(
+          found.cert_names.begin(), found.cert_names.end(),
+          [&op](const std::string& name) {
+            return name.find(op) != std::string::npos;
+          });
+      if (match) {
+        found.inferred_operator = op;
+        break;
+      }
+    }
+    result.endpoints.push_back(std::move(found));
+  }
+  std::sort(result.endpoints.begin(), result.endpoints.end(),
+            [](const DiscoveredEndpoint& a, const DiscoveredEndpoint& b) {
+              return a.address < b.address;
+            });
+
+  // Off-net inference: the certificate names one operator while BGP says
+  // the address belongs to a different network. The operator's own AS is
+  // taken as the majority origin among its matched endpoints (in practice
+  // hypergiant ASNs are public knowledge).
+  std::unordered_map<std::string, std::unordered_map<std::uint32_t, int>>
+      operator_origins;
+  for (const auto& ep : result.endpoints) {
+    if (!ep.inferred_operator.empty()) {
+      ++operator_origins[ep.inferred_operator][ep.origin_as.value()];
+    }
+  }
+  std::unordered_map<std::string, std::uint32_t> operator_home;
+  for (const auto& [op, origins] : operator_origins) {
+    std::uint32_t best_asn = 0;
+    int best = -1;
+    for (const auto& [asn, count] : origins) {
+      if (count > best) {
+        best = count;
+        best_asn = asn;
+      }
+    }
+    operator_home[op] = best_asn;
+  }
+  for (auto& ep : result.endpoints) {
+    if (!ep.inferred_operator.empty()) {
+      ep.inferred_offnet =
+          ep.origin_as.value() != operator_home[ep.inferred_operator];
+    }
+  }
+  return result;
+}
+
+std::vector<Ipv4Addr> TlsScanner::sni_scan(
+    std::string_view hostname, std::span<const Ipv4Addr> addresses) const {
+  std::vector<Ipv4Addr> out;
+  for (const Ipv4Addr addr : addresses) {
+    if (inventory_->serves(addr, hostname)) out.push_back(addr);
+  }
+  return out;
+}
+
+}  // namespace itm::scan

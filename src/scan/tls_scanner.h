@@ -1,0 +1,62 @@
+// Internet-wide TLS and SNI scanning (§3.2.2, approaches 1-2).
+//
+// The TLS sweep walks every routable address, records which ones answer TLS
+// and with which certificate names, and classifies CDN infrastructure by
+// matching certificate subjects to hypergiant patterns — finding off-net
+// caches because they present the operator's certificates from inside other
+// networks. The SNI scan checks which discovered CDN addresses complete a
+// handshake for a given service hostname, uncovering the service's hosting
+// footprint.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/tls.h"
+#include "topology/address_plan.h"
+
+namespace itm::scan {
+
+struct DiscoveredEndpoint {
+  Ipv4Addr address;
+  std::vector<std::string> cert_names;
+  // Origin AS from public BGP data.
+  Asn origin_as{0};
+  // Operator inferred from certificate subjects (empty if unmatched).
+  std::string inferred_operator;
+  // True when the inferred operator's home AS differs from the origin AS.
+  bool inferred_offnet = false;
+};
+
+struct TlsScanResult {
+  std::vector<DiscoveredEndpoint> endpoints;
+  std::uint64_t addresses_probed = 0;
+
+  [[nodiscard]] std::vector<const DiscoveredEndpoint*> operated_by(
+      std::string_view operator_name) const;
+};
+
+class TlsScanner {
+ public:
+  TlsScanner(const cdn::TlsInventory& inventory,
+             const topology::AddressPlan& plan)
+      : inventory_(&inventory), plan_(&plan) {}
+
+  // Sweeps all addresses in every routable /24. `operator_names` are the
+  // known hypergiant certificate patterns to classify against (as in [25],
+  // operator cert patterns are curated by hand).
+  [[nodiscard]] TlsScanResult sweep(
+      std::span<const std::string> operator_names) const;
+
+  // SNI scan: which of `addresses` serve `hostname`?
+  [[nodiscard]] std::vector<Ipv4Addr> sni_scan(
+      std::string_view hostname, std::span<const Ipv4Addr> addresses) const;
+
+ private:
+  const cdn::TlsInventory* inventory_;
+  const topology::AddressPlan* plan_;
+};
+
+}  // namespace itm::scan

@@ -1,0 +1,28 @@
+#include "scan/traceroute.h"
+
+#include "net/geo.h"
+
+namespace itm::scan {
+
+std::vector<TracerouteHop> Traceroute::trace(Asn src_as, Ipv4Addr dst) const {
+  std::vector<TracerouteHop> hops;
+  const auto dst_as = topo_->addresses.origin_of(dst);
+  if (!dst_as) return hops;
+  const auto table = bgp_.routes_to(*dst_as);
+  if (!table.at(src_as).reachable()) return hops;
+  const auto path = table.path_from(src_as);
+  const auto& geo = topo_->geography;
+  const GeoPoint origin =
+      geo.city(topo_->graph.info(src_as).home_city).location;
+  double rtt = 0.2;  // first-hop latency floor
+  for (const Asn asn : path) {
+    const auto& router = fleet_->of(asn);
+    const GeoPoint at =
+        geo.city(topo_->graph.info(asn).home_city).location;
+    rtt = std::max(rtt, min_rtt_ms(origin, at) + 0.2);
+    hops.push_back(TracerouteHop{asn, router.interface, rtt});
+  }
+  return hops;
+}
+
+}  // namespace itm::scan

@@ -1,0 +1,38 @@
+// Traceroute over the simulated data plane.
+//
+// Hops are the border-router interfaces of the ASes on the BGP best path
+// (one responding interface per AS, as a Level3-style aliased view). Used by
+// examples and by facility/route diagnostics; AS-path measurement tools use
+// routing::Bgp directly.
+#pragma once
+
+#include <vector>
+
+#include "routing/bgp.h"
+#include "scan/ipid.h"
+#include "topology/generator.h"
+
+namespace itm::scan {
+
+struct TracerouteHop {
+  Asn asn{0};
+  Ipv4Addr interface;
+  double rtt_ms = 0.0;
+};
+
+class Traceroute {
+ public:
+  Traceroute(const topology::Topology& topo, const RouterFleet& fleet)
+      : topo_(&topo), fleet_(&fleet), bgp_(topo.graph) {}
+
+  // Hop list from `src_as` toward `dst`; empty when unreachable.
+  [[nodiscard]] std::vector<TracerouteHop> trace(Asn src_as,
+                                                 Ipv4Addr dst) const;
+
+ private:
+  const topology::Topology* topo_;
+  const RouterFleet* fleet_;
+  routing::Bgp bgp_;
+};
+
+}  // namespace itm::scan

@@ -1,0 +1,124 @@
+#include "topology/address_plan.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace itm::topology {
+
+namespace {
+
+// Smallest power of two >= n.
+std::uint32_t ceil_pow2(std::uint32_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+}  // namespace
+
+AddressPlan AddressPlan::build(const AsGraph& graph,
+                               const AddressPlanConfig& config) {
+  AddressPlan plan;
+  plan.per_as_.reserve(graph.size());
+
+  // Allocation cursor in units of /24s, starting at 1.0.0.0.
+  std::uint32_t cursor_24 = 1u << 16;  // 1.0.0.0 is the 65536-th /24
+
+  for (const auto& as : graph.ases()) {
+    AsAddressing a;
+    a.asn = as.asn;
+    switch (as.type) {
+      case AsType::kAccess:
+        a.user_slash24s = static_cast<std::uint32_t>(std::max(
+            1.0, std::round(config.user_24s_per_access_as * as.size_factor)));
+        break;
+      case AsType::kContent:
+        a.content_slash24s = static_cast<std::uint32_t>(std::max(
+            1.0,
+            std::round(config.content_24s_per_content_as * as.size_factor)));
+        break;
+      case AsType::kHypergiant:
+        a.content_slash24s = static_cast<std::uint32_t>(std::max(
+            1.0,
+            std::round(config.content_24s_per_hypergiant * as.size_factor)));
+        break;
+      case AsType::kTier1:
+      case AsType::kTransit:
+      case AsType::kEnterprise:
+        break;
+    }
+    a.misc_slash24s = config.misc_24s;
+    a.announced_slash24s =
+        a.user_slash24s + a.content_slash24s + a.misc_slash24s + 1;
+    const std::uint32_t span = ceil_pow2(a.announced_slash24s);
+    // Align the aggregate to its size.
+    cursor_24 = (cursor_24 + span - 1) / span * span;
+    const auto length =
+        static_cast<std::uint8_t>(24 - std::countr_zero(span));
+    a.aggregate = Ipv4Prefix(Ipv4Addr(cursor_24 << 8), length);
+    a.infra_slash24 = a.aggregate.child(24, a.announced_slash24s - 1);
+    cursor_24 += span;
+    if (cursor_24 >= (224u << 16)) {  // stay below multicast space
+      throw std::length_error(
+          "IPv4 address plan exhausted; reduce AS counts or per-AS /24s");
+    }
+
+    plan.origins_.insert(a.aggregate, as.asn);
+    plan.total_slash24s_ += a.announced_slash24s;
+    plan.per_as_.push_back(a);
+  }
+  return plan;
+}
+
+std::optional<Asn> AddressPlan::origin_of(Ipv4Addr addr) const {
+  const auto match = origins_.longest_match(addr);
+  if (!match) return std::nullopt;
+  return match->second.get();
+}
+
+std::optional<Asn> AddressPlan::origin_of(const Ipv4Prefix& prefix) const {
+  const auto match = origins_.longest_covering(prefix);
+  if (!match) return std::nullopt;
+  return match->second.get();
+}
+
+Ipv4Prefix AddressPlan::user_slash24(Asn asn, std::uint32_t i) const {
+  const auto& a = of(asn);
+  assert(i < a.user_slash24s);
+  return a.aggregate.child(24, i);
+}
+
+Ipv4Prefix AddressPlan::content_slash24(Asn asn, std::uint32_t i) const {
+  const auto& a = of(asn);
+  assert(i < a.content_slash24s);
+  return a.aggregate.child(24, a.user_slash24s + i);
+}
+
+Ipv4Prefix AddressPlan::misc_slash24(Asn asn, std::uint32_t i) const {
+  const auto& a = of(asn);
+  assert(i < a.misc_slash24s);
+  return a.aggregate.child(24, a.user_slash24s + a.content_slash24s + i);
+}
+
+std::vector<Ipv4Prefix> AddressPlan::routable_slash24s() const {
+  std::vector<Ipv4Prefix> out;
+  out.reserve(total_slash24s_);
+  for (const auto& a : per_as_) {
+    for (std::uint64_t i = 0; i < a.announced_slash24s; ++i) {
+      out.push_back(a.aggregate.child(24, i));
+    }
+  }
+  return out;
+}
+
+std::vector<Ipv4Prefix> AddressPlan::user_slash24s() const {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& a : per_as_) {
+    for (std::uint32_t i = 0; i < a.user_slash24s; ++i) {
+      out.push_back(a.aggregate.child(24, i));
+    }
+  }
+  return out;
+}
+
+}  // namespace itm::topology

@@ -1,0 +1,93 @@
+// IPv4 address allocation for the synthetic Internet.
+//
+// Every AS receives one contiguous power-of-two aggregate sized to its needs:
+// a run of user /24s (for access networks), a run of content /24s (for
+// content networks and hypergiant on-net ranges), and one infrastructure /24
+// holding routers, name servers and other service addresses. The plan also
+// exposes the global routable-/24 iteration that measurement tools (ECS
+// probing, TLS scanning) sweep over — the synthetic analogue of "all routable
+// prefixes" in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+#include "topology/as_graph.h"
+
+namespace itm::topology {
+
+struct AsAddressing {
+  Asn asn;
+  // The announced BGP aggregate (one per AS in this plan).
+  Ipv4Prefix aggregate;
+  // Number of leading /24s that host end users (access networks only).
+  std::uint32_t user_slash24s = 0;
+  // Number of /24s after the user range that host content servers.
+  std::uint32_t content_slash24s = 0;
+  // Number of miscellaneous /24s after the content range (hosting, off-net
+  // cache appliances, idle space).
+  std::uint32_t misc_slash24s = 0;
+  // /24s actually announced (user + content + misc + infra); the aggregate
+  // is power-of-two sized for alignment, but the tail beyond this count is
+  // dark space a scanner never sees routed.
+  std::uint32_t announced_slash24s = 0;
+  // The single infrastructure /24 (the last announced /24).
+  Ipv4Prefix infra_slash24;
+};
+
+struct AddressPlanConfig {
+  // User /24s for an access AS: round(base * size_factor), at least 1.
+  double user_24s_per_access_as = 64.0;
+  // Content /24s for content/hypergiant ASes.
+  double content_24s_per_content_as = 8.0;
+  double content_24s_per_hypergiant = 64.0;
+  // Enterprises and others get a couple of /24s of (mostly idle) space.
+  std::uint32_t misc_24s = 2;
+};
+
+class AddressPlan {
+ public:
+  // Allocates addresses for every AS in the graph, starting at 1.0.0.0.
+  static AddressPlan build(const AsGraph& graph,
+                           const AddressPlanConfig& config);
+
+  [[nodiscard]] const AsAddressing& of(Asn asn) const {
+    return per_as_[asn.value()];
+  }
+
+  // Origin AS of an address / most-specific covering aggregate of a prefix.
+  [[nodiscard]] std::optional<Asn> origin_of(Ipv4Addr addr) const;
+  [[nodiscard]] std::optional<Asn> origin_of(const Ipv4Prefix& prefix) const;
+
+  // The i-th user /24 of an AS (i < user_slash24s).
+  [[nodiscard]] Ipv4Prefix user_slash24(Asn asn, std::uint32_t i) const;
+  // The i-th content /24 of an AS (i < content_slash24s).
+  [[nodiscard]] Ipv4Prefix content_slash24(Asn asn, std::uint32_t i) const;
+  // The i-th miscellaneous /24 of an AS (i < misc_slash24s).
+  [[nodiscard]] Ipv4Prefix misc_slash24(Asn asn, std::uint32_t i) const;
+
+  // Every routable /24 across all ASes, in address order. This is what an
+  // Internet-wide sweep iterates over.
+  [[nodiscard]] std::vector<Ipv4Prefix> routable_slash24s() const;
+
+  // Every user /24 (the ground-truth "prefixes with users" universe).
+  [[nodiscard]] std::vector<Ipv4Prefix> user_slash24s() const;
+
+  [[nodiscard]] std::uint64_t total_slash24_count() const {
+    return total_slash24s_;
+  }
+
+  [[nodiscard]] const std::vector<AsAddressing>& all() const {
+    return per_as_;
+  }
+
+ private:
+  std::vector<AsAddressing> per_as_;
+  PrefixTrie<Asn> origins_;
+  std::uint64_t total_slash24s_ = 0;
+};
+
+}  // namespace itm::topology

@@ -1,0 +1,127 @@
+#include "topology/geography.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace itm::topology {
+
+namespace {
+
+// Stable synthetic country names; extended with numeric suffixes beyond 12.
+const char* kCountryNames[] = {"Francia",  "Nipponia", "Koreana", "Albion",
+                               "Columbia", "Teutonia", "Brasilia", "Indica",
+                               "Sinica",   "Rossiya",  "Iberia",   "Italia"};
+
+std::string country_name(std::size_t i) {
+  constexpr std::size_t n = std::size(kCountryNames);
+  if (i < n) return kCountryNames[i];
+  return std::string(kCountryNames[i % n]) + "-" + std::to_string(i / n);
+}
+
+}  // namespace
+
+Geography Geography::generate(const GeographyConfig& config, Rng& rng) {
+  assert(config.num_countries > 0 && config.cities_per_country > 0);
+  Geography geo;
+  geo.countries_.reserve(config.num_countries);
+
+  // Country user shares follow a Zipf over a random permutation so the
+  // biggest country is not always country 0.
+  std::vector<double> shares(config.num_countries);
+  double total = 0;
+  for (std::size_t i = 0; i < config.num_countries; ++i) {
+    shares[i] = 1.0 / std::pow(static_cast<double>(i + 1),
+                               config.country_share_exponent);
+    total += shares[i];
+  }
+  for (auto& s : shares) s /= total;
+  rng.shuffle(shares);
+
+  for (std::size_t i = 0; i < config.num_countries; ++i) {
+    Country country;
+    country.id = CountryId(static_cast<std::uint32_t>(i));
+    country.name = country_name(i);
+    // Spread country centers over temperate latitudes and all longitudes.
+    country.center = GeoPoint{rng.uniform(-50.0, 60.0),
+                              rng.uniform(-180.0, 180.0)};
+    country.user_share = shares[i];
+    geo.countries_.push_back(country);
+  }
+
+  // Cities: Zipf population weights within the country, clustered around
+  // the country center (roughly a 10-degree box).
+  for (auto& country : geo.countries_) {
+    std::vector<double> weights(config.cities_per_country);
+    double wtotal = 0;
+    for (std::size_t c = 0; c < config.cities_per_country; ++c) {
+      weights[c] = 1.0 / std::pow(static_cast<double>(c + 1),
+                                  config.city_population_exponent);
+      wtotal += weights[c];
+    }
+    for (std::size_t c = 0; c < config.cities_per_country; ++c) {
+      City city;
+      city.id = CityId(static_cast<std::uint32_t>(geo.cities_.size()));
+      city.country = country.id;
+      city.name = country.name + "-city" + std::to_string(c);
+      double lon = country.center.lon_deg + rng.uniform(-5.0, 5.0);
+      if (lon > 180.0) lon -= 360.0;
+      if (lon < -180.0) lon += 360.0;
+      city.location = GeoPoint{
+          std::clamp(country.center.lat_deg + rng.uniform(-5.0, 5.0), -85.0,
+                     85.0),
+          lon};
+      city.population_weight = weights[c] / wtotal;
+      country.cities.push_back(city.id);
+      geo.cities_.push_back(city);
+    }
+  }
+
+  // Facilities: the top half of each country's cities (by weight) get
+  // facilities; the largest city gets an extra one.
+  for (const auto& country : geo.countries_) {
+    const std::size_t large = std::max<std::size_t>(1, country.cities.size() / 2);
+    for (std::size_t c = 0; c < large; ++c) {
+      const CityId city = country.cities[c];
+      const std::size_t count =
+          config.facilities_per_large_city + (c == 0 ? 1 : 0);
+      for (std::size_t f = 0; f < count; ++f) {
+        Facility facility;
+        facility.id = FacilityId(static_cast<std::uint32_t>(geo.facilities_.size()));
+        facility.city = city;
+        facility.name = geo.city(city).name + "-colo" + std::to_string(f);
+        geo.facilities_.push_back(facility);
+      }
+    }
+  }
+  return geo;
+}
+
+std::vector<FacilityId> Geography::facilities_in(CityId city) const {
+  std::vector<FacilityId> out;
+  for (const auto& f : facilities_) {
+    if (f.city == city) out.push_back(f.id);
+  }
+  return out;
+}
+
+CityId Geography::sample_city(CountryId country, Rng& rng) const {
+  const auto& c = this->country(country);
+  assert(!c.cities.empty());
+  std::vector<double> weights;
+  weights.reserve(c.cities.size());
+  for (const CityId id : c.cities) {
+    weights.push_back(city(id).population_weight);
+  }
+  return c.cities[rng.weighted_index(weights)];
+}
+
+CountryId Geography::sample_country(Rng& rng) const {
+  assert(!countries_.empty());
+  std::vector<double> weights;
+  weights.reserve(countries_.size());
+  for (const auto& c : countries_) weights.push_back(c.user_share);
+  return countries_[rng.weighted_index(weights)].id;
+}
+
+}  // namespace itm::topology

@@ -1,0 +1,95 @@
+// Synthetic world geography: countries, cities, and colocation facilities.
+//
+// The generator lays countries out on the globe, places cities inside them
+// with population weights, and sites colocation facilities in the larger
+// cities. ASes declare presence in cities/facilities; peering links require
+// (mostly) a shared facility, mirroring how interconnection works in
+// practice and enabling the paper's facility-based peering-prediction idea
+// (§3.3.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ids.h"
+#include "net/rng.h"
+
+namespace itm::topology {
+
+struct City {
+  CityId id;
+  CountryId country;
+  std::string name;
+  GeoPoint location;
+  // Relative population weight within the country (sums to 1 per country).
+  double population_weight = 0.0;
+};
+
+struct Facility {
+  FacilityId id;
+  CityId city;
+  std::string name;
+};
+
+struct Country {
+  CountryId id;
+  std::string name;
+  GeoPoint center;
+  // Relative share of the world's Internet users in this country.
+  double user_share = 0.0;
+  std::vector<CityId> cities;
+};
+
+struct GeographyConfig {
+  std::size_t num_countries = 6;
+  std::size_t cities_per_country = 8;
+  std::size_t facilities_per_large_city = 2;
+  // Zipf exponent over city populations within a country.
+  double city_population_exponent = 1.0;
+  // Zipf exponent over countries' user shares.
+  double country_share_exponent = 0.8;
+};
+
+class Geography {
+ public:
+  static Geography generate(const GeographyConfig& config, Rng& rng);
+
+  [[nodiscard]] const std::vector<Country>& countries() const {
+    return countries_;
+  }
+  [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
+  [[nodiscard]] const std::vector<Facility>& facilities() const {
+    return facilities_;
+  }
+
+  [[nodiscard]] const Country& country(CountryId id) const {
+    return countries_.at(id.value());
+  }
+  [[nodiscard]] const City& city(CityId id) const {
+    return cities_.at(id.value());
+  }
+  [[nodiscard]] const Facility& facility(FacilityId id) const {
+    return facilities_.at(id.value());
+  }
+
+  // Facilities located in the given city.
+  [[nodiscard]] std::vector<FacilityId> facilities_in(CityId city) const;
+
+  // Weighted random city of a country (by population weight).
+  [[nodiscard]] CityId sample_city(CountryId country, Rng& rng) const;
+
+  // Weighted random country (by user share).
+  [[nodiscard]] CountryId sample_country(Rng& rng) const;
+
+  [[nodiscard]] double distance_km(CityId a, CityId b) const {
+    return haversine_km(city(a).location, city(b).location);
+  }
+
+ private:
+  std::vector<Country> countries_;
+  std::vector<City> cities_;
+  std::vector<Facility> facilities_;
+};
+
+}  // namespace itm::topology

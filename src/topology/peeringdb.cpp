@@ -1,0 +1,84 @@
+#include "topology/peeringdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itm::topology {
+
+namespace {
+
+const char* info_type_of(AsType type) {
+  switch (type) {
+    case AsType::kTier1: return "NSP";
+    case AsType::kTransit: return "NSP";
+    case AsType::kAccess: return "Cable/DSL/ISP";
+    case AsType::kContent: return "Content";
+    case AsType::kHypergiant: return "Content";
+    case AsType::kEnterprise: return "Enterprise";
+  }
+  return "Not Disclosed";
+}
+
+double register_probability(AsType type, const PeeringDbConfig& config) {
+  switch (type) {
+    case AsType::kTier1: return config.p_register_tier1;
+    case AsType::kTransit: return config.p_register_transit;
+    case AsType::kAccess: return config.p_register_access;
+    case AsType::kContent: return config.p_register_content;
+    case AsType::kHypergiant: return config.p_register_hypergiant;
+    case AsType::kEnterprise: return config.p_register_enterprise;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+PeeringDb PeeringDb::build(const AsGraph& graph, const PeeringDbConfig& config,
+                           Rng& rng) {
+  PeeringDb db;
+  db.index_.assign(graph.size(), std::nullopt);
+  for (const auto& as : graph.ases()) {
+    // Networks with no facility presence have nothing to declare and rarely
+    // register; still allow it occasionally so coverage is imperfect both ways.
+    double p = register_probability(as.type, config);
+    if (as.facilities.empty()) p *= 0.2;
+    if (!rng.bernoulli(p)) continue;
+
+    PeeringDbRecord rec;
+    rec.asn = as.asn;
+    rec.name = as.name;
+    rec.info_type = info_type_of(as.type);
+    rec.policy = as.policy;
+    rec.profile = as.profile;
+    for (const auto f : as.facilities) {
+      if (rng.bernoulli(config.p_declare_facility)) {
+        rec.facilities.push_back(f);
+      }
+    }
+    // Traffic level: noisy log of true size, clamped to 1..6.
+    const double noisy = std::log2(std::max(0.1, as.size_factor)) + 3.0 +
+                         rng.normal(0.0, 0.5);
+    rec.traffic_level = static_cast<int>(std::clamp(noisy, 1.0, 6.0));
+    db.index_[as.asn.value()] = db.records_.size();
+    db.records_.push_back(std::move(rec));
+  }
+  return db;
+}
+
+const PeeringDbRecord* PeeringDb::lookup(Asn asn) const {
+  const auto& slot = index_.at(asn.value());
+  return slot ? &records_[*slot] : nullptr;
+}
+
+std::vector<Asn> PeeringDb::members_of(FacilityId facility) const {
+  std::vector<Asn> out;
+  for (const auto& rec : records_) {
+    if (std::find(rec.facilities.begin(), rec.facilities.end(), facility) !=
+        rec.facilities.end()) {
+      out.push_back(rec.asn);
+    }
+  }
+  return out;
+}
+
+}  // namespace itm::topology

@@ -1,0 +1,63 @@
+// A PeeringDB-like public registry: the subset of topology information a
+// researcher can obtain without privileged access.
+//
+// Records are self-declared, so coverage is incomplete (small networks often
+// do not register) and some fields are generalized. The §3.3.3 peering
+// recommender consumes this registry, never the ground-truth graph.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/rng.h"
+#include "topology/as_graph.h"
+
+namespace itm::topology {
+
+struct PeeringDbRecord {
+  Asn asn;
+  std::string name;
+  // Self-declared network type string ("Content", "Cable/DSL/ISP", "NSP"...).
+  std::string info_type;
+  PeeringPolicy policy = PeeringPolicy::kSelective;
+  TrafficProfile profile = TrafficProfile::kBalanced;
+  // Declared facility presence (may be a subset of actual presence).
+  std::vector<FacilityId> facilities;
+  // Order-of-magnitude self-declared traffic level (1..6, like PeeringDB's
+  // "traffic" ranges), correlated with — but not equal to — true size.
+  int traffic_level = 1;
+};
+
+struct PeeringDbConfig {
+  // Registration probability by AS type (content networks register most).
+  double p_register_hypergiant = 1.0;
+  double p_register_content = 0.9;
+  double p_register_transit = 0.85;
+  double p_register_access = 0.6;
+  double p_register_tier1 = 0.9;
+  double p_register_enterprise = 0.05;
+  // Per-facility probability that a registered AS declares its presence.
+  double p_declare_facility = 0.9;
+};
+
+class PeeringDb {
+ public:
+  static PeeringDb build(const AsGraph& graph, const PeeringDbConfig& config,
+                         Rng& rng);
+
+  [[nodiscard]] const std::vector<PeeringDbRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const PeeringDbRecord* lookup(Asn asn) const;
+
+  // ASes declaring presence at the facility.
+  [[nodiscard]] std::vector<Asn> members_of(FacilityId facility) const;
+
+ private:
+  std::vector<PeeringDbRecord> records_;
+  std::vector<std::optional<std::size_t>> index_;  // asn -> record index
+};
+
+}  // namespace itm::topology

@@ -1,0 +1,76 @@
+#include "topology/serialization.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace itm::topology {
+
+void write_as_rel(const AsGraph& graph, std::ostream& os) {
+  os << "# itm as-rel export: <a>|<b>|<rel>, rel -1 = a is provider of b, "
+        "0 = peers\n";
+  for (const auto& link : graph.links()) {
+    if (link.a_to_b == Relation::kPeer) {
+      os << link.a.value() << "|" << link.b.value() << "|0\n";
+    } else {
+      // Stored as (customer=a, provider=b): emit provider first.
+      os << link.b.value() << "|" << link.a.value() << "|-1\n";
+    }
+  }
+}
+
+std::optional<AsRelParseError> read_as_rel(std::istream& is, AsGraph& graph) {
+  std::unordered_map<std::uint64_t, Asn> densify;
+  const auto intern = [&](std::uint64_t external) {
+    const auto it = densify.find(external);
+    if (it != densify.end()) return it->second;
+    AsInfo info;
+    info.name = "AS" + std::to_string(external);
+    const Asn asn = graph.add_as(std::move(info));
+    densify.emplace(external, asn);
+    return asn;
+  };
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    std::uint64_t a = 0, b = 0;
+    std::int64_t rel = 0;
+    auto r1 = std::from_chars(p, end, a);
+    if (r1.ec != std::errc{} || r1.ptr == end || *r1.ptr != '|') {
+      return AsRelParseError{line_number, "expected '<a>|'"};
+    }
+    auto r2 = std::from_chars(r1.ptr + 1, end, b);
+    if (r2.ec != std::errc{} || r2.ptr == end || *r2.ptr != '|') {
+      return AsRelParseError{line_number, "expected '<b>|'"};
+    }
+    auto r3 = std::from_chars(r2.ptr + 1, end, rel);
+    if (r3.ec != std::errc{}) {
+      return AsRelParseError{line_number, "expected relationship"};
+    }
+    const Asn asn_a = intern(a);
+    const Asn asn_b = intern(b);
+    if (asn_a == asn_b) {
+      return AsRelParseError{line_number, "self link"};
+    }
+    if (graph.adjacent(asn_a, asn_b)) {
+      continue;  // duplicate lines appear in real files; keep the first
+    }
+    if (rel == 0) {
+      graph.add_peering(asn_a, asn_b);
+    } else if (rel == -1) {
+      graph.add_transit(/*customer=*/asn_b, /*provider=*/asn_a);
+    } else {
+      return AsRelParseError{line_number, "relationship must be -1 or 0"};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace itm::topology

@@ -1,0 +1,34 @@
+// Topology interchange in the CAIDA AS-relationship format.
+//
+// Writes/reads the de-facto standard serialization used by CAIDA's as-rel
+// datasets: one `<as-a>|<as-b>|<rel>` line per link, where rel is -1 for
+// provider-customer (a is the provider) and 0 for peer-peer; comment lines
+// start with '#'. Exporting lets external tools consume the synthetic
+// topology; importing lets every itm algorithm (BGP propagation, public
+// view, prediction, recommender) run on real-world AS-relationship files.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "topology/as_graph.h"
+
+namespace itm::topology {
+
+// Serializes the graph's links (ASNs are the dense internal numbers).
+void write_as_rel(const AsGraph& graph, std::ostream& os);
+
+struct AsRelParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+// Parses an as-rel stream into a graph. External ASNs are arbitrary
+// integers; they are densified in first-appearance order and the original
+// numbers stored in each AsInfo's name ("AS<original>"). Returns the error
+// on malformed input.
+[[nodiscard]] std::optional<AsRelParseError> read_as_rel(std::istream& is,
+                                                         AsGraph& graph);
+
+}  // namespace itm::topology

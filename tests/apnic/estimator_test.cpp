@@ -1,0 +1,76 @@
+#include "apnic/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_scenario.h"
+#include "net/stats.h"
+
+namespace itm::apnic {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(ApnicEstimates, CoversMostLargeAses) {
+  auto& s = shared_tiny_scenario();
+  for (const Asn a : s.topo().accesses) {
+    if (s.users().as_users(a) > 5000) {
+      EXPECT_TRUE(s.apnic().covered(a))
+          << s.topo().graph.info(a).name << " with "
+          << s.users().as_users(a) << " users missing from APNIC";
+    }
+  }
+}
+
+TEST(ApnicEstimates, EstimatesWithinNoiseForBigAses) {
+  auto& s = shared_tiny_scenario();
+  for (const Asn a : s.topo().accesses) {
+    const double truth = s.users().as_users(a);
+    if (truth < 2000 || !s.apnic().covered(a)) continue;
+    const double ratio = s.apnic().users(a) / truth;
+    EXPECT_GT(ratio, 0.4) << s.topo().graph.info(a).name;
+    EXPECT_LT(ratio, 3.0) << s.topo().graph.info(a).name;
+  }
+}
+
+TEST(ApnicEstimates, RankCorrelatesWithTruth) {
+  auto& s = shared_tiny_scenario();
+  std::vector<double> est, truth;
+  for (const Asn a : s.topo().accesses) {
+    if (!s.apnic().covered(a)) continue;
+    est.push_back(s.apnic().users(a));
+    truth.push_back(s.users().as_users(a));
+  }
+  ASSERT_GT(est.size(), 5u);
+  EXPECT_GT(spearman(est, truth), 0.7);
+}
+
+TEST(ApnicEstimates, NonAccessAsesNotCovered) {
+  auto& s = shared_tiny_scenario();
+  EXPECT_FALSE(s.apnic().covered(s.topo().tier1s.front()));
+  EXPECT_FALSE(s.apnic().covered(s.topo().hypergiants.front()));
+  EXPECT_DOUBLE_EQ(s.apnic().users(s.topo().tier1s.front()), 0.0);
+}
+
+TEST(ApnicEstimates, CountryTotalsSumToTotal) {
+  auto& s = shared_tiny_scenario();
+  double sum = 0;
+  for (const auto& country : s.topo().geography.countries()) {
+    sum += s.apnic().country_users(s.topo(), country.id);
+  }
+  EXPECT_NEAR(sum, s.apnic().total_users(), s.apnic().total_users() * 1e-9);
+}
+
+TEST(ApnicEstimates, ThresholdDropsTinyAses) {
+  // With a very high reporting threshold nothing is covered.
+  auto& s = shared_tiny_scenario();
+  ApnicConfig config;
+  config.sample_rate = 1e-7;  // samples ~0 users everywhere
+  Rng rng(5);
+  const auto sparse = ApnicEstimates::build(s.topo(), s.users(), config, rng);
+  EXPECT_LT(sparse.by_as().size(), s.apnic().by_as().size());
+}
+
+}  // namespace
+}  // namespace itm::apnic

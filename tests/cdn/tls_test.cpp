@@ -1,0 +1,90 @@
+#include "cdn/tls.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+
+namespace itm::cdn {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(TlsInventory, EveryFrontEndListens) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& fe : s.deployment().front_ends()) {
+    const auto* ep = s.tls().endpoint_at(fe.address);
+    ASSERT_NE(ep, nullptr);
+    ASSERT_TRUE(ep->hypergiant.has_value());
+    EXPECT_EQ(*ep->hypergiant, fe.owner);
+  }
+}
+
+TEST(TlsInventory, OffnetsPresentOperatorCert) {
+  auto& s = shared_tiny_scenario();
+  bool found_offnet = false;
+  for (const auto& fe : s.deployment().front_ends()) {
+    const auto& pop = s.deployment().pop(fe.pop);
+    if (!pop.offnet) continue;
+    found_offnet = true;
+    const auto* ep = s.tls().endpoint_at(fe.address);
+    ASSERT_NE(ep, nullptr);
+    EXPECT_TRUE(ep->offnet);
+    const auto& hg = s.deployment().hypergiant(fe.owner);
+    bool has_operator_name = false;
+    for (const auto& name : ep->default_cert_names) {
+      if (name.find(hg.name) != std::string::npos) has_operator_name = true;
+    }
+    EXPECT_TRUE(has_operator_name);
+  }
+  EXPECT_TRUE(found_offnet);
+}
+
+TEST(TlsInventory, NoEndpointAtRandomUserAddress) {
+  auto& s = shared_tiny_scenario();
+  const auto user24 = s.topo().addresses.user_slash24(
+      s.topo().accesses.front(), 0);
+  EXPECT_EQ(s.tls().endpoint_at(user24.address_at(77)), nullptr);
+  EXPECT_FALSE(s.tls().serves(user24.address_at(77), "svc-0.example"));
+}
+
+TEST(TlsInventory, SniServedByOwnOperatorOnly) {
+  auto& s = shared_tiny_scenario();
+  // Pick a DNS-redirection service of hypergiant 0 and front ends of both
+  // hypergiant 0 and hypergiant 1.
+  const Service* svc = nullptr;
+  for (const auto& candidate : s.catalog().services()) {
+    if (candidate.hypergiant && candidate.hypergiant->value() == 0 &&
+        candidate.redirection == RedirectionKind::kDnsRedirection) {
+      svc = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(svc, nullptr);
+  for (const auto& fe : s.deployment().front_ends()) {
+    const bool should_serve = fe.owner.value() == 0;
+    EXPECT_EQ(s.tls().serves(fe.address, svc->hostname), should_serve);
+  }
+}
+
+TEST(TlsInventory, DedicatedAddressesServeTheirHostname) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& svc : s.catalog().services()) {
+    if (svc.redirection == RedirectionKind::kDnsRedirection) continue;
+    EXPECT_TRUE(s.tls().serves(svc.service_address, svc.hostname))
+        << svc.name;
+    EXPECT_FALSE(s.tls().serves(svc.service_address, "other.example"));
+  }
+}
+
+TEST(TlsInventory, SizeCoversFrontEndsAndDedicated) {
+  auto& s = shared_tiny_scenario();
+  std::size_t dedicated = 0;
+  for (const auto& svc : s.catalog().services()) {
+    if (svc.redirection != RedirectionKind::kDnsRedirection) ++dedicated;
+  }
+  EXPECT_EQ(s.tls().size(),
+            s.deployment().front_ends().size() + dedicated);
+}
+
+}  // namespace
+}  // namespace itm::cdn

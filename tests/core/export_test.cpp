@@ -1,0 +1,99 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace itm::core {
+namespace {
+
+// Build one small map for all export tests.
+class ExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = Scenario::generate(tiny_config(808)).release();
+    MapBuilder builder(*scenario_);
+    MapBuildOptions options;
+    options.probe_rounds = 6;
+    map_ = new TrafficMap(builder.build(options));
+  }
+  static void TearDownTestSuite() {
+    delete map_;
+    delete scenario_;
+  }
+  static Scenario* scenario_;
+  static TrafficMap* map_;
+};
+
+Scenario* ExportTest::scenario_ = nullptr;
+TrafficMap* ExportTest::map_ = nullptr;
+
+// A tiny structural JSON validator: balanced containers outside strings.
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST_F(ExportTest, JsonIsStructurallySound) {
+  std::ostringstream os;
+  export_map_json(*map_, *scenario_, os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"client_prefixes\""), std::string::npos);
+  EXPECT_NE(json.find("\"client_ases\""), std::string::npos);
+  EXPECT_NE(json.find("\"servers\""), std::string::npos);
+  EXPECT_NE(json.find("\"recommended_links\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 808"), std::string::npos);
+}
+
+TEST_F(ExportTest, ActivityCsvHasOneRowPerClientAs) {
+  std::ostringstream os;
+  export_activity_csv(*map_, *scenario_, os);
+  const std::string csv = os.str();
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows),
+            map_->client_ases.size() + 1);  // header
+  EXPECT_EQ(csv.rfind("asn,name,activity_score\n", 0), 0u);
+}
+
+TEST_F(ExportTest, ServersCsvHasOneRowPerEndpoint) {
+  std::ostringstream os;
+  export_servers_csv(*map_, *scenario_, os);
+  const std::string csv = os.str();
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), map_->tls.endpoints.size() + 1);
+}
+
+TEST_F(ExportTest, LinksCsvMatchesRecommendations) {
+  std::ostringstream os;
+  export_recommended_links_csv(*map_, *scenario_, os);
+  const std::string csv = os.str();
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows),
+            map_->recommended_links.size() + 1);
+}
+
+}  // namespace
+}  // namespace itm::core

@@ -1,0 +1,62 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+
+namespace itm::core {
+namespace {
+
+TEST(Scenario, DeterministicForSeed) {
+  auto a = Scenario::generate(tiny_config(5));
+  auto b = Scenario::generate(tiny_config(5));
+  EXPECT_EQ(a->topo().graph.size(), b->topo().graph.size());
+  EXPECT_EQ(a->topo().graph.links().size(), b->topo().graph.links().size());
+  EXPECT_EQ(a->users().size(), b->users().size());
+  EXPECT_DOUBLE_EQ(a->users().total_users(), b->users().total_users());
+  EXPECT_DOUBLE_EQ(a->matrix().total_bytes(), b->matrix().total_bytes());
+  // Spot-check a deep value.
+  EXPECT_EQ(a->deployment().front_ends().size(),
+            b->deployment().front_ends().size());
+  if (!a->deployment().front_ends().empty()) {
+    EXPECT_EQ(a->deployment().front_ends().back().address,
+              b->deployment().front_ends().back().address);
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  auto a = Scenario::generate(tiny_config(5));
+  auto b = Scenario::generate(tiny_config(6));
+  EXPECT_NE(a->users().total_users(), b->users().total_users());
+}
+
+TEST(Scenario, ComponentsAreConsistent) {
+  auto& s = itm::testing::shared_tiny_scenario();
+  // DNS pops exist and matrix is non-trivial.
+  EXPECT_GT(s.dns().public_pops().size(), 0u);
+  EXPECT_GT(s.matrix().total_bytes(), 0.0);
+  EXPECT_GT(s.apnic().total_users(), 0.0);
+  EXPECT_FALSE(s.peeringdb().records().empty());
+  EXPECT_GT(s.tls().size(), 0u);
+  EXPECT_EQ(s.routers().routers().size(), s.topo().graph.size());
+}
+
+TEST(Scenario, ForkRngIsStablePerPurpose) {
+  auto& s = itm::testing::shared_tiny_scenario();
+  auto r1 = s.fork_rng(3);
+  auto r2 = s.fork_rng(3);
+  EXPECT_EQ(r1.next_u64(), r2.next_u64());
+  auto r3 = s.fork_rng(4);
+  EXPECT_NE(s.fork_rng(3).next_u64(), r3.next_u64());
+}
+
+TEST(Scenario, ConfigPresetsScale) {
+  const auto tiny = tiny_config();
+  const auto def = default_config();
+  const auto large = large_config();
+  EXPECT_LT(tiny.topology.num_access, def.topology.num_access);
+  EXPECT_LT(def.topology.num_access, large.topology.num_access);
+}
+
+}  // namespace
+}  // namespace itm::core

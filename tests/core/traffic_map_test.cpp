@@ -1,0 +1,115 @@
+#include "core/traffic_map.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/client_detection.h"
+
+namespace itm::core {
+namespace {
+
+// Building a map is the expensive end-to-end path; do it once.
+class TrafficMapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = Scenario::generate(tiny_config(2024)).release();
+    builder_ = new MapBuilder(*scenario_);
+    MapBuildOptions options;
+    options.probe_rounds = 10;
+    map_ = new TrafficMap(builder_->build(options));
+  }
+  static void TearDownTestSuite() {
+    delete map_;
+    delete builder_;
+    delete scenario_;
+  }
+
+  static Scenario* scenario_;
+  static MapBuilder* builder_;
+  static TrafficMap* map_;
+};
+
+Scenario* TrafficMapTest::scenario_ = nullptr;
+MapBuilder* TrafficMapTest::builder_ = nullptr;
+TrafficMap* TrafficMapTest::map_ = nullptr;
+
+TEST_F(TrafficMapTest, DetectsMostTraffic) {
+  const auto cov = inference::evaluate_prefixes(
+      map_->client_prefixes, scenario_->users(), scenario_->matrix(),
+      HypergiantId(0));
+  EXPECT_GT(cov.traffic_coverage, 0.6);
+  EXPECT_LT(cov.false_positive_rate, 0.01);
+}
+
+TEST_F(TrafficMapTest, CombinedAsesBeatEitherTechnique) {
+  const auto combined_cov = inference::evaluate_ases(
+      map_->client_ases, scenario_->users(), scenario_->matrix(),
+      HypergiantId(0), scenario_->topo());
+  const auto root_ases = builder_->last_crawl().detected_ases();
+  const auto root_cov = inference::evaluate_ases(
+      root_ases, scenario_->users(), scenario_->matrix(), HypergiantId(0),
+      scenario_->topo());
+  EXPECT_GE(combined_cov.traffic_coverage, root_cov.traffic_coverage);
+  EXPECT_GT(combined_cov.traffic_coverage, 0.8);
+}
+
+TEST_F(TrafficMapTest, ActivityScoresPresentForDetectedAses) {
+  EXPECT_FALSE(map_->activity.by_as.empty());
+  EXPECT_GT(map_->total_activity(), 0.0);
+}
+
+TEST_F(TrafficMapTest, TlsComponentFindsOffnets) {
+  std::size_t offnets = 0;
+  for (const auto& ep : map_->tls.endpoints) {
+    if (ep.inferred_offnet) ++offnets;
+  }
+  EXPECT_GT(offnets, 0u);
+}
+
+TEST_F(TrafficMapTest, UserMappingOnlyEcsServices) {
+  EXPECT_FALSE(map_->user_mapping.empty());
+  for (const auto& [sid, mapping] : map_->user_mapping) {
+    const auto& svc = scenario_->catalog().service(ServiceId(sid));
+    EXPECT_TRUE(svc.supports_ecs);
+    EXPECT_FALSE(mapping.empty());
+  }
+}
+
+TEST_F(TrafficMapTest, RoutesComponentHidesPeering) {
+  EXPECT_GT(map_->public_view.link_count(), 0u);
+  EXPECT_LT(map_->public_view.peering_coverage(scenario_->topo().graph),
+            0.5);
+  EXPECT_GT(map_->augmented_graph.links().size(),
+            map_->observed_graph.links().size());
+}
+
+TEST_F(TrafficMapTest, OutageImpactOfBigEyeball) {
+  // The biggest eyeball should have a larger estimated activity share than
+  // a tiny one.
+  const auto in_country =
+      scenario_->topo().accesses_in(CountryId(0));
+  if (in_country.size() < 2) GTEST_SKIP();
+  const auto big = map_->outage_impact(in_country.front(),
+                                       scenario_->topo().addresses);
+  const auto small = map_->outage_impact(in_country.back(),
+                                         scenario_->topo().addresses);
+  EXPECT_GE(big.activity_share, small.activity_share);
+  EXPECT_GT(big.client_prefixes, 0u);
+}
+
+TEST_F(TrafficMapTest, OutageImpactCountsOffnetServers) {
+  // Find an eyeball hosting an off-net; its outage impact lists servers.
+  for (const Asn a : scenario_->topo().accesses) {
+    bool hosts = false;
+    for (const auto& hg : scenario_->deployment().hypergiants()) {
+      if (scenario_->deployment().offnet_in(hg.id, a) != nullptr) hosts = true;
+    }
+    if (!hosts) continue;
+    const auto impact = map_->outage_impact(a, scenario_->topo().addresses);
+    EXPECT_GT(impact.servers_inside, 0u);
+    return;
+  }
+  GTEST_SKIP() << "no off-net host in tiny scenario";
+}
+
+}  // namespace
+}  // namespace itm::core

@@ -1,0 +1,151 @@
+#include "core/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+
+namespace itm::core {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(WhatIf, AccessFailureLosesItsClientBytes) {
+  auto& s = shared_tiny_scenario();
+  const Asn failed = s.topo().accesses_in(CountryId(0)).front();
+  const auto report = simulate_as_failure(s, failed);
+  EXPECT_EQ(report.failed, failed);
+  EXPECT_NEAR(report.client_bytes_lost,
+              s.matrix().as_client_bytes(failed) / s.matrix().total_bytes(),
+              1e-9);
+  EXPECT_GT(report.client_bytes_lost, 0.0);
+  // Surviving traffic = baseline minus the failed AS's client bytes (access
+  // networks host no origins, so no service bytes vanish).
+  EXPECT_DOUBLE_EQ(report.service_bytes_lost, 0.0);
+  EXPECT_NEAR(report.surviving_bytes,
+              report.baseline_bytes * (1.0 - report.client_bytes_lost),
+              report.baseline_bytes * 1e-6);
+}
+
+TEST(WhatIf, ContentFailureLosesItsServices) {
+  auto& s = shared_tiny_scenario();
+  // Find a content AS hosting at least one long-tail service.
+  for (const Asn content : s.topo().contents) {
+    double expected = 0;
+    for (const auto& svc : s.catalog().services()) {
+      if (svc.origin_as == content && !svc.hypergiant) {
+        expected += s.matrix().service_bytes(svc.id);
+      }
+    }
+    if (expected <= 0) continue;
+    const auto report = simulate_as_failure(s, content);
+    EXPECT_NEAR(report.service_bytes_lost,
+                expected / s.matrix().total_bytes(), 1e-9);
+    EXPECT_DOUBLE_EQ(report.client_bytes_lost, 0.0);
+    return;
+  }
+  GTEST_SKIP() << "no content AS with services in tiny scenario";
+}
+
+TEST(WhatIf, TransitFailureShiftsLoadNotVolume) {
+  auto& s = shared_tiny_scenario();
+  const Asn transit = s.topo().transits.front();
+  const auto report = simulate_as_failure(s, transit);
+  EXPECT_DOUBLE_EQ(report.client_bytes_lost, 0.0);
+  // No clients or origins are inside a transit AS, but customers that were
+  // single-homed behind it lose connectivity, so surviving traffic can only
+  // shrink — and most of it survives in a redundantly connected mesh.
+  EXPECT_LE(report.surviving_bytes, report.baseline_bytes);
+  EXPECT_GT(report.surviving_bytes, report.baseline_bytes * 0.5);
+  // Some load moved to other links.
+  EXPECT_GT(report.link_load_shifted, 0.0);
+  // The failed AS's own links all went to zero.
+  for (std::size_t li = 0; li < s.topo().graph.links().size(); ++li) {
+    const auto& link = s.topo().graph.links()[li];
+    if (link.a == transit || link.b == transit) {
+      EXPECT_LE(report.link_delta[li], 0.0);
+    }
+  }
+}
+
+TEST(WhatIf, TopGainingLinksAreSorted) {
+  auto& s = shared_tiny_scenario();
+  const auto report = simulate_as_failure(s, s.topo().transits.front());
+  const auto top = report.top_gaining_links(s.topo().graph, 5);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].delta_bytes, top[i].delta_bytes);
+  }
+  for (const auto& shift : top) {
+    EXPECT_GT(shift.delta_bytes, 0.0);
+    EXPECT_NE(shift.a, report.failed);
+    EXPECT_NE(shift.b, report.failed);
+  }
+}
+
+TEST(WhatIf, OffnetDisplacementOnlyWhenHostFails) {
+  auto& s = shared_tiny_scenario();
+  // An AS hosting an off-net reports displaced off-net bytes; one without
+  // reports zero.
+  bool tested_host = false, tested_nonhost = false;
+  for (const Asn a : s.topo().accesses) {
+    bool hosts = false;
+    for (const auto& hg : s.deployment().hypergiants()) {
+      if (s.deployment().offnet_in(hg.id, a) != nullptr) hosts = true;
+    }
+    if (hosts && !tested_host) {
+      const auto report = simulate_as_failure(s, a);
+      EXPECT_GT(report.offnet_bytes_displaced, 0.0);
+      tested_host = true;
+    }
+    if (!hosts && !tested_nonhost) {
+      const auto report = simulate_as_failure(s, a);
+      EXPECT_DOUBLE_EQ(report.offnet_bytes_displaced, 0.0);
+      tested_nonhost = true;
+    }
+    if (tested_host && tested_nonhost) break;
+  }
+  EXPECT_TRUE(tested_host);
+}
+
+TEST(WhatIf, DeploymentWithoutAsDropsOnlyItsPops) {
+  auto& s = shared_tiny_scenario();
+  // Use an access AS hosting an off-net.
+  for (const Asn a : s.topo().accesses) {
+    std::size_t hosted = 0;
+    for (const auto& pop : s.deployment().pops()) {
+      if (pop.asn == a) ++hosted;
+    }
+    if (hosted == 0) continue;
+    const auto filtered = s.deployment().without_as(a);
+    EXPECT_EQ(filtered.pops().size(), s.deployment().pops().size() - hosted);
+    for (const auto& pop : filtered.pops()) {
+      EXPECT_NE(pop.asn, a);
+      // Ids are dense and self-consistent.
+      EXPECT_EQ(filtered.pop(pop.id).city, pop.city);
+    }
+    for (const auto& fe : filtered.front_ends()) {
+      EXPECT_NE(filtered.pop(fe.pop).asn, a);
+    }
+    return;
+  }
+  GTEST_SKIP();
+}
+
+TEST(WhatIf, UserBaseWithoutAs) {
+  auto& s = shared_tiny_scenario();
+  const Asn excluded = s.topo().accesses.front();
+  const auto masked = s.users().without_as(excluded);
+  EXPECT_DOUBLE_EQ(masked.as_users(excluded), 0.0);
+  EXPECT_NEAR(masked.total_users(),
+              s.users().total_users() - s.users().as_users(excluded), 1e-6);
+  // Other ASes unchanged.
+  const Asn other = s.topo().accesses.back();
+  ASSERT_NE(other, excluded);
+  EXPECT_DOUBLE_EQ(masked.as_users(other), s.users().as_users(other));
+  // Index rebuilt correctly.
+  for (const auto& up : masked.all()) {
+    EXPECT_EQ(masked.find(up.prefix)->prefix, up.prefix);
+  }
+}
+
+}  // namespace
+}  // namespace itm::core

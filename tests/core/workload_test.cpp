@@ -1,0 +1,90 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+
+namespace itm::core {
+namespace {
+
+TEST(Workload, EventCountScalesWithQueryRate) {
+  auto s1 = Scenario::generate(tiny_config(44));
+  auto s2 = Scenario::generate(tiny_config(44));
+  WorkloadConfig low;
+  low.queries_per_activity = 2.0;
+  WorkloadConfig high;
+  high.queries_per_activity = 8.0;
+  Workload wl(*s1, low, 1);
+  Workload wh(*s2, high, 1);
+  EXPECT_GT(wh.total_events(), wl.total_events() * 2);
+}
+
+TEST(Workload, AdvanceIsMonotoneAndIdempotent) {
+  auto s = Scenario::generate(tiny_config(45));
+  Workload w(*s, WorkloadConfig{}, 2);
+  w.advance_to(1000);
+  const auto after_first = w.processed_events();
+  w.advance_to(1000);
+  EXPECT_EQ(w.processed_events(), after_first);
+  w.advance_to(500);  // going backwards is a no-op
+  EXPECT_EQ(w.processed_events(), after_first);
+  w.advance_to(kSecondsPerDay / 4);
+  EXPECT_GE(w.processed_events(), after_first);
+  EXPECT_EQ(w.now(), kSecondsPerDay / 4);
+}
+
+TEST(Workload, FinishProcessesEverything) {
+  auto s = Scenario::generate(tiny_config(46));
+  Workload w(*s, WorkloadConfig{}, 3);
+  EXPECT_GT(w.total_events(), 0u);
+  w.finish();
+  EXPECT_EQ(w.processed_events(), w.total_events());
+  // DNS saw the queries; roots saw Chromium probes.
+  EXPECT_GT(s->dns().stats().queries, 0u);
+  EXPECT_GT(s->dns().roots().total_queries(), 0u);
+}
+
+TEST(Workload, PublicShareRoughlyMatchesConfigured) {
+  auto s = Scenario::generate(tiny_config(47));
+  Workload w(*s, WorkloadConfig{}, 4);
+  w.finish();
+  const auto& stats = s->dns().stats();
+  ASSERT_GT(stats.queries, 1000u);
+  const double share =
+      static_cast<double>(stats.public_queries) / stats.queries;
+  // Mean adoption is ~0.32 with country-level spread; very loose bounds.
+  EXPECT_GT(share, 0.1);
+  EXPECT_LT(share, 0.6);
+}
+
+TEST(Workload, QueriesFollowDiurnalPattern) {
+  auto s = Scenario::generate(tiny_config(48));
+  Workload w(*s, WorkloadConfig{}, 5);
+  // Compare query volume in two 6h windows; with most users concentrated
+  // in a few longitudes, volumes must differ noticeably.
+  w.advance_to(6 * kSecondsPerHour);
+  const auto q1 = w.processed_events();
+  w.advance_to(12 * kSecondsPerHour);
+  const auto q2 = w.processed_events() - q1;
+  w.advance_to(18 * kSecondsPerHour);
+  const auto q3 = w.processed_events() - q1 - q2;
+  w.finish();
+  const auto q4 = w.processed_events() - q1 - q2 - q3;
+  const auto lo = std::min({q1, q2, q3, q4});
+  const auto hi = std::max({q1, q2, q3, q4});
+  EXPECT_GT(hi, lo + lo / 4);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  auto s1 = Scenario::generate(tiny_config(49));
+  auto s2 = Scenario::generate(tiny_config(49));
+  Workload w1(*s1, WorkloadConfig{}, 6);
+  Workload w2(*s2, WorkloadConfig{}, 6);
+  EXPECT_EQ(w1.total_events(), w2.total_events());
+  w1.finish();
+  w2.finish();
+  EXPECT_EQ(s1->dns().stats().public_hits, s2->dns().stats().public_hits);
+}
+
+}  // namespace
+}  // namespace itm::core

@@ -1,0 +1,99 @@
+#include "dns/authoritative.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "../test_scenario.h"
+#include "dns/cache.h"
+
+namespace itm::dns {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+const cdn::Service& service_of_kind(const core::Scenario& s,
+                                    cdn::RedirectionKind kind, bool ecs) {
+  for (const auto& svc : s.catalog().services()) {
+    if (svc.redirection == kind && svc.supports_ecs == ecs) return svc;
+  }
+  ADD_FAILURE() << "service kind not found";
+  return s.catalog().services().front();
+}
+
+TEST(AuthoritativeDns, StaticAnswerForNonDnsServices) {
+  auto& s = shared_tiny_scenario();
+  const auto& authoritative = s.dns().authoritative();
+  for (const auto& svc : s.catalog().services()) {
+    if (svc.redirection == cdn::RedirectionKind::kDnsRedirection) continue;
+    const auto ans = authoritative.answer(svc, std::nullopt, CityId(0));
+    EXPECT_EQ(ans.address, svc.service_address);
+    EXPECT_EQ(ans.cache_scope, DnsCache::kGlobalScope);
+    EXPECT_EQ(ans.ttl_s, svc.dns_ttl_s);
+  }
+}
+
+TEST(AuthoritativeDns, EcsAnswerScopedToClientSlash24) {
+  auto& s = shared_tiny_scenario();
+  const auto& authoritative = s.dns().authoritative();
+  const auto& svc =
+      service_of_kind(s, cdn::RedirectionKind::kDnsRedirection, true);
+  const auto& up = s.users().all().front();
+  const auto ans = authoritative.answer(svc, up.prefix, CityId(0));
+  EXPECT_EQ(ans.cache_scope, DnsCache::scope_of(up.prefix));
+  // The answer is a front end of the service's hypergiant.
+  const auto* ep = s.tls().endpoint_at(ans.address);
+  ASSERT_NE(ep, nullptr);
+  EXPECT_EQ(ep->hypergiant, svc.hypergiant);
+}
+
+TEST(AuthoritativeDns, NonEcsAnswerGlobalScopeByResolverCity) {
+  auto& s = shared_tiny_scenario();
+  const auto& authoritative = s.dns().authoritative();
+  const auto& svc =
+      service_of_kind(s, cdn::RedirectionKind::kDnsRedirection, true);
+  const auto& up = s.users().all().front();
+  // Even an ECS service answers globally when the resolver sends no ECS.
+  const auto ans = authoritative.answer(svc, std::nullopt, up.city);
+  EXPECT_EQ(ans.cache_scope, DnsCache::kGlobalScope);
+}
+
+TEST(AuthoritativeDns, AnswerDeterministicPerLocation) {
+  auto& s = shared_tiny_scenario();
+  const auto& authoritative = s.dns().authoritative();
+  const auto& svc =
+      service_of_kind(s, cdn::RedirectionKind::kDnsRedirection, true);
+  const auto& up = s.users().all().front();
+  const auto a1 = authoritative.answer(svc, up.prefix, CityId(0));
+  const auto a2 = authoritative.answer(svc, up.prefix, CityId(1));
+  EXPECT_EQ(a1.address, a2.address);  // ECS dominates resolver city
+}
+
+TEST(AuthoritativeDns, LocatePrefixUsesGroundTruthForUsers) {
+  auto& s = shared_tiny_scenario();
+  const auto& authoritative = s.dns().authoritative();
+  const auto& up = s.users().all().front();
+  EXPECT_EQ(authoritative.locate_prefix(up.prefix), up.city);
+  // Infrastructure prefixes fall back to the origin AS's home city.
+  const Asn asn = s.topo().accesses.front();
+  const auto infra = s.topo().addresses.of(asn).infra_slash24;
+  EXPECT_EQ(authoritative.locate_prefix(infra),
+            s.topo().graph.info(asn).home_city);
+}
+
+TEST(AuthoritativeDns, EcsAnswersVaryAcrossDistantPrefixes) {
+  auto& s = shared_tiny_scenario();
+  const auto& authoritative = s.dns().authoritative();
+  const auto& svc =
+      service_of_kind(s, cdn::RedirectionKind::kDnsRedirection, true);
+  // Over all user prefixes there should be at least two distinct answers
+  // (redirection actually redirects).
+  std::unordered_set<Ipv4Addr> answers;
+  for (const auto& up : s.users().all()) {
+    answers.insert(authoritative.answer(svc, up.prefix, CityId(0)).address);
+  }
+  EXPECT_GT(answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace itm::dns

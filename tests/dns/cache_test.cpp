@@ -1,0 +1,66 @@
+#include "dns/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace itm::dns {
+namespace {
+
+const Ipv4Prefix kPrefix = *Ipv4Prefix::parse("10.1.2.0/24");
+
+TEST(DnsCache, HitWithinTtlMissAfter) {
+  DnsCache cache;
+  const ServiceId svc(1);
+  const auto scope = DnsCache::scope_of(kPrefix);
+  cache.insert(svc, scope, Ipv4Addr(0xaa), /*expiry=*/100);
+  EXPECT_TRUE(cache.lookup(svc, scope, 50).has_value());
+  EXPECT_EQ(cache.lookup(svc, scope, 50)->bits(), 0xaau);
+  EXPECT_FALSE(cache.lookup(svc, scope, 100).has_value());  // expiry exact
+  EXPECT_FALSE(cache.lookup(svc, scope, 200).has_value());
+}
+
+TEST(DnsCache, ScopesAreIsolated) {
+  DnsCache cache;
+  const ServiceId svc(1);
+  const auto other = DnsCache::scope_of(*Ipv4Prefix::parse("10.1.3.0/24"));
+  cache.insert(svc, DnsCache::scope_of(kPrefix), Ipv4Addr(1), 100);
+  EXPECT_TRUE(cache.lookup(svc, DnsCache::scope_of(kPrefix), 10).has_value());
+  EXPECT_FALSE(cache.lookup(svc, other, 10).has_value());
+  EXPECT_FALSE(cache.lookup(svc, DnsCache::kGlobalScope, 10).has_value());
+}
+
+TEST(DnsCache, ServicesAreIsolated) {
+  DnsCache cache;
+  const auto scope = DnsCache::scope_of(kPrefix);
+  cache.insert(ServiceId(1), scope, Ipv4Addr(1), 100);
+  EXPECT_FALSE(cache.lookup(ServiceId(2), scope, 10).has_value());
+}
+
+TEST(DnsCache, InsertOverwrites) {
+  DnsCache cache;
+  const ServiceId svc(1);
+  cache.insert(svc, DnsCache::kGlobalScope, Ipv4Addr(1), 100);
+  cache.insert(svc, DnsCache::kGlobalScope, Ipv4Addr(2), 200);
+  EXPECT_EQ(cache.lookup(svc, DnsCache::kGlobalScope, 150)->bits(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCache, PurgeRemovesOnlyExpired) {
+  DnsCache cache;
+  cache.insert(ServiceId(1), DnsCache::kGlobalScope, Ipv4Addr(1), 100);
+  cache.insert(ServiceId(2), DnsCache::kGlobalScope, Ipv4Addr(2), 300);
+  cache.purge(200);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(
+      cache.lookup(ServiceId(2), DnsCache::kGlobalScope, 200).has_value());
+}
+
+TEST(DnsCache, ScopeOfUsesTop24Bits) {
+  EXPECT_EQ(DnsCache::scope_of(*Ipv4Prefix::parse("1.2.3.0/24")),
+            (1u << 16) | (2u << 8) | 3u);
+  // Global scope sentinel cannot collide with real /24s below 224.0.0.0.
+  EXPECT_GT(DnsCache::kGlobalScope, DnsCache::scope_of(*Ipv4Prefix::parse(
+                                        "223.255.255.0/24")));
+}
+
+}  // namespace
+}  // namespace itm::dns

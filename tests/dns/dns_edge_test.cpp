@@ -1,0 +1,121 @@
+// DNS edge cases: TTL capping, root-deployment anycast, cache behavior
+// around expiry boundaries.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "../test_scenario.h"
+#include "dns/root_deployment.h"
+
+namespace itm::dns {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(DnsEdge, PublicResolverCapsLongTtls) {
+  // A long-tail service can carry a TTL of up to an hour; the public
+  // resolver caps cached entries at max_cache_ttl_s.
+  auto scenario = core::Scenario::generate(core::tiny_config(4242));
+  auto& dns = scenario->dns();
+  const auto& config = scenario->config().dns;
+
+  // Find a single-site service with TTL above the cap... the generator caps
+  // hypergiant TTLs at 600s and the public cap is 21600s, so craft the
+  // check the other way: cached entries must expire no later than
+  // now + min(ttl, cap).
+  const auto& users = scenario->users().all();
+  const traffic::UserPrefix* up = nullptr;
+  for (const auto& candidate : users) {
+    if (candidate.public_dns_share > 0.2) {
+      up = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(up, nullptr);
+  const cdn::Service* svc = nullptr;
+  for (const auto& candidate : scenario->catalog().services()) {
+    if (candidate.supports_ecs) {
+      svc = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(svc, nullptr);
+  Rng rng(7);
+  DnsSystem::ResolveResult result;
+  do {
+    result = dns.resolve(*up, *svc, 1000, rng);
+  } while (!result.used_public);
+  const auto pop = dns.pop_for_city(up->city);
+  const SimTime bound =
+      1000 + std::min<std::uint32_t>(svc->dns_ttl_s, config.max_cache_ttl_s);
+  EXPECT_TRUE(dns.probe_cache(pop, *svc, up->prefix, bound - 1).has_value());
+  EXPECT_FALSE(dns.probe_cache(pop, *svc, up->prefix, bound).has_value());
+}
+
+TEST(DnsEdge, RootDeploymentSitesAreDistinctAndRouted) {
+  auto& s = shared_tiny_scenario();
+  Rng rng(99);
+  const auto deployment =
+      RootDeployment::build(s.topo(), RootDeploymentConfig{}, rng);
+  ASSERT_EQ(deployment.letters().size(), 13u);
+  for (const auto& letter : deployment.letters()) {
+    ASSERT_FALSE(letter.site_hosts.empty());
+    std::unordered_set<std::uint32_t> distinct;
+    for (const Asn host : letter.site_hosts) {
+      EXPECT_TRUE(distinct.insert(host.value()).second);
+    }
+    // Every AS can reach the letter.
+    const auto table = deployment.catchment(s.topo(), letter.index);
+    for (const auto& as : s.topo().graph.ases()) {
+      EXPECT_TRUE(table.at(as.asn).reachable()) << letter.name;
+      EXPECT_LT(table.at(as.asn).origin_index, letter.site_hosts.size());
+    }
+  }
+}
+
+TEST(DnsEdge, RootCatchmentSplitsAcrossSites) {
+  auto& s = shared_tiny_scenario();
+  Rng rng(100);
+  RootDeploymentConfig config;
+  config.min_sites = 6;
+  config.max_sites = 10;
+  const auto deployment = RootDeployment::build(s.topo(), config, rng);
+  // For a letter with several sites, the catchment should use more than one.
+  bool multi = false;
+  for (const auto& letter : deployment.letters()) {
+    if (letter.site_hosts.size() < 3) continue;
+    const auto table = deployment.catchment(s.topo(), letter.index);
+    std::unordered_set<std::uint16_t> used;
+    for (const Asn vp : s.topo().accesses) {
+      used.insert(table.at(vp).origin_index);
+    }
+    if (used.size() > 1) multi = true;
+  }
+  EXPECT_TRUE(multi);
+}
+
+TEST(DnsEdge, ChromiumBatchCountsAccumulate) {
+  auto scenario = core::Scenario::generate(core::tiny_config(4343));
+  auto& dns = scenario->dns();
+  Rng rng(1);
+  const auto& up = scenario->users().all().front();
+  dns.chromium_probe(up, 9, 100, rng);
+  dns.chromium_probe(up, 6, 200, rng);
+  EXPECT_EQ(dns.roots().total_queries(), 15u);
+}
+
+TEST(DnsEdge, AssociationSamplingRateZeroDisables) {
+  auto config = core::tiny_config(4444);
+  config.dns.association_sample_rate = 0.0;
+  auto scenario = core::Scenario::generate(config);
+  Rng rng(2);
+  auto& dns = scenario->dns();
+  const auto& svc = scenario->catalog().services().front();
+  for (int i = 0; i < 200; ++i) {
+    dns.resolve(scenario->users().all().front(), svc, 100 + i, rng);
+  }
+  EXPECT_TRUE(dns.resolver_associations().empty());
+}
+
+}  // namespace
+}  // namespace itm::dns

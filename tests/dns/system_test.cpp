@@ -1,0 +1,242 @@
+#include "dns/system.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+
+namespace itm::dns {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+// These tests need virgin cache state, so they build their own scenario.
+class DnsSystemTest : public ::testing::Test {
+ protected:
+  DnsSystemTest()
+      : scenario_(core::Scenario::generate(core::tiny_config(777))),
+        rng_(9) {}
+
+  const traffic::UserPrefix& prefix_with(double min_public_share,
+                                         double max_public_share) {
+    for (const auto& up : scenario_->users().all()) {
+      if (up.public_dns_share >= min_public_share &&
+          up.public_dns_share <= max_public_share) {
+        return up;
+      }
+    }
+    return scenario_->users().all().front();
+  }
+
+  const cdn::Service& ecs_service() {
+    for (const auto& svc : scenario_->catalog().services()) {
+      if (svc.supports_ecs) return svc;
+    }
+    ADD_FAILURE() << "no ECS service";
+    return scenario_->catalog().services().front();
+  }
+
+  std::unique_ptr<core::Scenario> scenario_;
+  Rng rng_;
+};
+
+TEST_F(DnsSystemTest, PublicResolutionPopulatesProbeableCache) {
+  auto& dns = scenario_->dns();
+  const auto& svc = ecs_service();
+  const auto& up = prefix_with(0.15, 0.9);
+  // Force the public path by retrying the resolver coin-flip.
+  DnsSystem::ResolveResult result;
+  SimTime t = 100;
+  do {
+    result = dns.resolve(up, svc, t, rng_);
+  } while (!result.used_public);
+  // The cache at the client's PoP now answers an ECS probe for its /24.
+  const auto pop = dns.pop_for_city(up.city);
+  const auto probed = dns.probe_cache(pop, svc, up.prefix, t + 1);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(*probed, result.answer);
+  // A different prefix gets no hit.
+  const auto& other = scenario_->users().all().back();
+  ASSERT_NE(other.prefix, up.prefix);
+  EXPECT_FALSE(dns.probe_cache(pop, svc, other.prefix, t + 1).has_value());
+  // After TTL expiry the probe misses.
+  EXPECT_FALSE(
+      dns.probe_cache(pop, svc, up.prefix, t + svc.dns_ttl_s + 10)
+          .has_value());
+}
+
+TEST_F(DnsSystemTest, SecondPublicResolveIsCacheHit) {
+  auto& dns = scenario_->dns();
+  const auto& svc = ecs_service();
+  const auto& up = prefix_with(0.15, 0.9);
+  DnsSystem::ResolveResult first;
+  do {
+    first = dns.resolve(up, svc, 200, rng_);
+  } while (!first.used_public);
+  DnsSystem::ResolveResult second;
+  do {
+    second = dns.resolve(up, svc, 201, rng_);
+  } while (!second.used_public);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.answer, first.answer);
+}
+
+TEST_F(DnsSystemTest, IspResolutionDoesNotPopulatePublicCache) {
+  auto& dns = scenario_->dns();
+  const auto& svc = ecs_service();
+  // Prefixes with low public-DNS share usually resolve via their ISP on the
+  // first try; find one whose first resolve is the ISP path so no public
+  // resolution has touched the PoP cache for this (service, prefix).
+  const auto pop_of = [&](const traffic::UserPrefix& up) {
+    return dns.pop_for_city(up.city);
+  };
+  for (const auto& up : scenario_->users().all()) {
+    if (up.public_dns_share > 0.5) continue;
+    const auto result = dns.resolve(up, svc, 300, rng_);
+    if (result.used_public) continue;  // try another prefix
+    EXPECT_FALSE(result.cache_hit);
+    EXPECT_FALSE(
+        dns.probe_cache(pop_of(up), svc, up.prefix, 301).has_value());
+    return;
+  }
+  FAIL() << "no prefix resolved via its ISP resolver";
+}
+
+TEST_F(DnsSystemTest, NonEcsServiceSharesCacheAcrossPrefixes) {
+  auto& dns = scenario_->dns();
+  const cdn::Service* svc = nullptr;
+  for (const auto& candidate : scenario_->catalog().services()) {
+    if (candidate.redirection == cdn::RedirectionKind::kDnsRedirection &&
+        !candidate.supports_ecs) {
+      svc = &candidate;
+      break;
+    }
+  }
+  if (svc == nullptr) GTEST_SKIP() << "no non-ECS DNS service";
+  // Two prefixes in the same public PoP catchment share the global entry.
+  const auto& prefixes = scenario_->users().all();
+  const auto& a = prefix_with(0.15, 0.9);
+  const traffic::UserPrefix* b = nullptr;
+  for (const auto& up : prefixes) {
+    if (up.prefix != a.prefix && up.public_dns_share >= 0.15 &&
+        dns.pop_for_city(up.city) == dns.pop_for_city(a.city)) {
+      b = &up;
+      break;
+    }
+  }
+  if (b == nullptr) GTEST_SKIP() << "no co-catchment prefix";
+  DnsSystem::ResolveResult ra;
+  do {
+    ra = dns.resolve(a, *svc, 400, rng_);
+  } while (!ra.used_public);
+  DnsSystem::ResolveResult rb;
+  do {
+    rb = dns.resolve(*b, *svc, 401, rng_);
+  } while (!rb.used_public);
+  EXPECT_TRUE(rb.cache_hit);
+  EXPECT_EQ(rb.answer, ra.answer);
+}
+
+TEST_F(DnsSystemTest, ChromiumProbesReachRootsByResolverAddress) {
+  auto& dns = scenario_->dns();
+  const auto& up = scenario_->users().all().front();
+  const auto before = dns.roots().total_queries();
+  dns.chromium_probe(up, 30, 500, rng_);
+  EXPECT_EQ(dns.roots().total_queries(), before + 30);
+  // The crawl sees some of them, attributed to resolver addresses.
+  const auto crawl = dns.roots().crawl();
+  std::uint64_t seen = 0;
+  for (const auto& [addr, count] : crawl) seen += count;
+  EXPECT_GT(seen, 0u);
+  EXPECT_LE(seen, dns.roots().total_queries());
+}
+
+TEST_F(DnsSystemTest, IspResolverAddressInSomeInfraRange) {
+  const auto& dns = scenario_->dns();
+  std::size_t own = 0, outsourced = 0;
+  for (const Asn asn : scenario_->topo().accesses) {
+    const auto addr = dns.isp_resolver_address(asn);
+    // The resolver lives in the infrastructure /24 of its hosting AS.
+    const auto host = scenario_->topo().addresses.origin_of(addr);
+    ASSERT_TRUE(host.has_value());
+    EXPECT_TRUE(
+        scenario_->topo().addresses.of(*host).infra_slash24.contains(addr));
+    if (dns.runs_own_resolver(asn)) {
+      EXPECT_EQ(*host, asn);
+      ++own;
+    } else {
+      EXPECT_NE(*host, asn);
+      // Outsourced to a provider of the AS.
+      EXPECT_EQ(scenario_->topo().graph.relation(asn, *host),
+                topology::Relation::kProvider);
+      ++outsourced;
+    }
+  }
+  // Both populations exist (resolver outsourcing is modeled).
+  EXPECT_GT(own, 0u);
+  EXPECT_GT(outsourced, 0u);
+}
+
+TEST_F(DnsSystemTest, PopForCityIsNearest) {
+  const auto& dns = scenario_->dns();
+  const auto& geo = scenario_->topo().geography;
+  for (const auto& city : geo.cities()) {
+    const auto chosen = dns.pop_for_city(city.id);
+    const double chosen_km =
+        geo.distance_km(dns.public_pops()[chosen].city, city.id);
+    for (std::size_t p = 0; p < dns.public_pops().size(); ++p) {
+      EXPECT_LE(chosen_km,
+                geo.distance_km(dns.public_pops()[p].city, city.id) + 1e-9);
+    }
+  }
+}
+
+TEST_F(DnsSystemTest, StatsAccumulate) {
+  auto& dns = scenario_->dns();
+  const auto before = dns.stats().queries;
+  dns.resolve(scenario_->users().all().front(), ecs_service(), 600, rng_);
+  EXPECT_EQ(dns.stats().queries, before + 1);
+}
+
+TEST_F(DnsSystemTest, PurgeKeepsFreshEntries) {
+  auto& dns = scenario_->dns();
+  const auto& svc = ecs_service();
+  const auto& up = prefix_with(0.15, 0.9);
+  DnsSystem::ResolveResult result;
+  do {
+    result = dns.resolve(up, svc, 700, rng_);
+  } while (!result.used_public);
+  dns.purge(701);  // nothing expired yet
+  const auto pop = dns.pop_for_city(up.city);
+  EXPECT_TRUE(dns.probe_cache(pop, svc, up.prefix, 702).has_value());
+  dns.purge(700 + svc.dns_ttl_s + 1);
+  EXPECT_FALSE(
+      dns.probe_cache(pop, svc, up.prefix, 700 + svc.dns_ttl_s + 2)
+          .has_value());
+}
+
+TEST(RootSystem, AnonymizationLimitsCrawl) {
+  RootConfig config;
+  config.letters = 10;
+  config.open_letters = 0;  // nothing crawlable
+  RootSystem roots(config);
+  Rng rng(1);
+  roots.record(Ipv4Addr(42), 100, rng);
+  EXPECT_EQ(roots.total_queries(), 100u);
+  EXPECT_TRUE(roots.crawl().empty());
+}
+
+TEST(RootSystem, OpenLettersSampleRoughlyProportionally) {
+  RootConfig config;
+  config.letters = 13;
+  config.open_letters = 13;
+  config.anonymized_fraction = 0.0;
+  RootSystem roots(config);
+  Rng rng(1);
+  roots.record(Ipv4Addr(42), 13000, rng);
+  const auto crawl = roots.crawl();
+  ASSERT_EQ(crawl.size(), 1u);
+  EXPECT_EQ(crawl.begin()->second, 13000u);  // all letters crawlable
+}
+
+}  // namespace
+}  // namespace itm::dns

@@ -1,0 +1,67 @@
+#include "inference/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+#include "core/workload.h"
+
+namespace itm::inference {
+namespace {
+
+TEST(Activity, CombinePrefersGeometricMeanOnOverlap) {
+  ActivityEstimate a, b;
+  a.by_as = {{1, 4.0}, {2, 1.0}};
+  b.by_as = {{1, 1.0}, {3, 9.0}};
+  const auto combined = combine_activity(a, b);
+  // After per-signal mean normalization (a-mean 2.5, b-mean 5):
+  // asn1: sqrt((4/2.5)*(1/5)), asn2: 1/2.5 only, asn3: 9/5 only.
+  EXPECT_NEAR(combined.score(Asn(1)), std::sqrt(1.6 * 0.2), 1e-9);
+  EXPECT_NEAR(combined.score(Asn(2)), 0.4, 1e-9);
+  EXPECT_NEAR(combined.score(Asn(3)), 1.8, 1e-9);
+  EXPECT_DOUBLE_EQ(combined.score(Asn(9)), 0.0);
+}
+
+TEST(Activity, CombineWithEmptySignalKeepsOther) {
+  ActivityEstimate a, empty;
+  a.by_as = {{1, 2.0}, {2, 4.0}};
+  const auto combined = combine_activity(a, empty);
+  EXPECT_GT(combined.score(Asn(1)), 0.0);
+  EXPECT_GT(combined.score(Asn(2)), combined.score(Asn(1)));
+}
+
+TEST(Activity, EndToEndRankAgreement) {
+  auto scenario = core::Scenario::generate(core::tiny_config(91));
+  core::Workload workload(*scenario, core::WorkloadConfig{}, 4);
+  scan::CacheProber prober(scenario->dns(), scenario->catalog());
+  const auto routable = scenario->topo().addresses.routable_slash24s();
+  for (int round = 0; round < 10; ++round) {
+    const SimTime at = (round + 1) * kSecondsPerDay / 11;
+    workload.advance_to(at);
+    prober.sweep(routable, at);
+  }
+  workload.finish();
+  const auto crawl =
+      scan::crawl_root_logs(scenario->dns(), scenario->topo().addresses);
+
+  const auto cache_est =
+      activity_from_cache_hits(prober, scenario->topo().addresses);
+  const auto root_est = activity_from_root_logs(crawl);
+  const auto combined = combine_activity(cache_est, root_est);
+
+  const auto cache_score =
+      score_activity(cache_est, scenario->users(), scenario->topo());
+  const auto root_score =
+      score_activity(root_est, scenario->users(), scenario->topo());
+  const auto combined_score =
+      score_activity(combined, scenario->users(), scenario->topo());
+
+  EXPECT_GT(cache_score.compared, 5u);
+  EXPECT_GT(root_score.compared, 5u);
+  EXPECT_GT(cache_score.spearman, 0.3);
+  EXPECT_GT(root_score.spearman, 0.5);
+  EXPECT_GT(combined_score.spearman, 0.5);
+  EXPECT_GT(combined_score.kendall_tau, 0.3);
+}
+
+}  // namespace
+}  // namespace itm::inference

@@ -1,0 +1,111 @@
+#include "inference/client_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+
+namespace itm::inference {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(ClientDetection, FullUniverseGivesFullCoverage) {
+  auto& s = shared_tiny_scenario();
+  std::vector<Ipv4Prefix> all;
+  for (const auto& up : s.users().all()) all.push_back(up.prefix);
+  const auto cov =
+      evaluate_prefixes(all, s.users(), s.matrix(), HypergiantId(0));
+  EXPECT_NEAR(cov.traffic_coverage, 1.0, 1e-9);
+  EXPECT_NEAR(cov.user_coverage, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cov.false_positive_rate, 0.0);
+  EXPECT_EQ(cov.detected, s.users().size());
+}
+
+TEST(ClientDetection, EmptyDetectionGivesZero) {
+  auto& s = shared_tiny_scenario();
+  const auto cov = evaluate_prefixes({}, s.users(), s.matrix(),
+                                     HypergiantId(0));
+  EXPECT_DOUBLE_EQ(cov.traffic_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(cov.user_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(cov.false_positive_rate, 0.0);
+}
+
+TEST(ClientDetection, FalsePositivesCounted) {
+  auto& s = shared_tiny_scenario();
+  // Detect one real prefix plus one infrastructure prefix.
+  const auto real = s.users().all().front().prefix;
+  const auto fake =
+      s.topo().addresses.of(s.topo().accesses.front()).infra_slash24;
+  const std::vector<Ipv4Prefix> detected{real, fake};
+  const auto cov =
+      evaluate_prefixes(detected, s.users(), s.matrix(), HypergiantId(0));
+  EXPECT_DOUBLE_EQ(cov.false_positive_rate, 0.5);
+}
+
+TEST(ClientDetection, HighActivityPrefixesCoverDisproportionateTraffic) {
+  auto& s = shared_tiny_scenario();
+  // Detect the top half of prefixes by activity: traffic coverage should
+  // exceed the 50% prefix count (heavy-tailed activity).
+  auto prefixes = std::vector<traffic::UserPrefix>(
+      s.users().all().begin(), s.users().all().end());
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const auto& a, const auto& b) { return a.activity > b.activity; });
+  std::vector<Ipv4Prefix> top_half;
+  for (std::size_t i = 0; i < prefixes.size() / 2; ++i) {
+    top_half.push_back(prefixes[i].prefix);
+  }
+  const auto cov =
+      evaluate_prefixes(top_half, s.users(), s.matrix(), HypergiantId(0));
+  EXPECT_GT(cov.traffic_coverage, 0.6);
+}
+
+TEST(ClientDetection, AsGranularityEvaluation) {
+  auto& s = shared_tiny_scenario();
+  const auto cov = evaluate_ases(s.topo().accesses, s.users(), s.matrix(),
+                                 HypergiantId(0), s.topo());
+  EXPECT_NEAR(cov.traffic_coverage, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cov.false_positive_rate, 0.0);
+  // Detecting a user-less AS counts as a false positive.
+  const std::vector<Asn> bogus{s.topo().tier1s.front()};
+  const auto bad = evaluate_ases(bogus, s.users(), s.matrix(),
+                                 HypergiantId(0), s.topo());
+  EXPECT_DOUBLE_EQ(bad.false_positive_rate, 1.0);
+}
+
+TEST(ClientDetection, CombineDeduplicates) {
+  auto& s = shared_tiny_scenario();
+  const Asn a0 = s.topo().accesses.front();
+  const auto p = s.users().all().front();  // prefix in some access AS
+  const std::vector<Ipv4Prefix> prefixes{p.prefix};
+  const std::vector<Asn> ases{a0, p.asn};
+  const auto combined = combine_detected(prefixes, ases, s.topo().addresses);
+  // No duplicates and contains both ASes.
+  std::unordered_set<std::uint32_t> set;
+  for (const Asn asn : combined) {
+    EXPECT_TRUE(set.insert(asn.value()).second);
+  }
+  EXPECT_TRUE(set.contains(a0.value()));
+  EXPECT_TRUE(set.contains(p.asn.value()));
+}
+
+TEST(ClientDetection, ApnicCoverageByCountryBounds) {
+  auto& s = shared_tiny_scenario();
+  const auto full = apnic_coverage_by_country(s.topo().accesses, s.apnic(),
+                                              s.topo());
+  for (const double f : full) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-9);
+  }
+  // Full detection covers all APNIC users everywhere.
+  for (std::size_t c = 0; c < full.size(); ++c) {
+    if (s.apnic().country_users(s.topo(),
+                                CountryId(static_cast<std::uint32_t>(c))) > 0) {
+      EXPECT_NEAR(full[c], 1.0, 1e-9);
+    }
+  }
+  const auto none = apnic_coverage_by_country({}, s.apnic(), s.topo());
+  for (const double f : none) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+}  // namespace
+}  // namespace itm::inference

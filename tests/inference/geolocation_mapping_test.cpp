@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+#include "inference/geolocation.h"
+#include "inference/mapping_eval.h"
+#include "scan/ecs_mapper.h"
+
+namespace itm::inference {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(Geolocation, SyntheticClusterRecovered) {
+  // One server, clients at known locations around (10, 10).
+  std::unordered_map<Ipv4Prefix, Ipv4Addr> sweep;
+  const Ipv4Addr server(0xABCD);
+  std::vector<GeoPoint> points{{9, 9}, {10, 10}, {11, 11}, {10, 9}, {9, 11}};
+  std::vector<Ipv4Prefix> prefixes;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    prefixes.push_back(
+        Ipv4Prefix(Ipv4Addr(static_cast<std::uint32_t>(i) << 8), 24));
+    sweep.emplace(prefixes.back(), server);
+  }
+  const PrefixLocator locator =
+      [&](const Ipv4Prefix& p) -> std::optional<GeoPoint> {
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      if (prefixes[i] == p) return points[i];
+    }
+    return std::nullopt;
+  };
+  const auto located = geolocate_servers({sweep}, locator);
+  ASSERT_EQ(located.size(), 1u);
+  EXPECT_EQ(located[0].supporting_prefixes, 5u);
+  EXPECT_LT(haversine_km(located[0].location, GeoPoint{10, 10}), 100.0);
+}
+
+TEST(Geolocation, OutlierRobustness) {
+  // Geometric median resists one wildly wrong client location.
+  std::unordered_map<Ipv4Prefix, Ipv4Addr> sweep;
+  const Ipv4Addr server(0x1);
+  std::vector<GeoPoint> points{{0, 0}, {0.5, 0.5}, {-0.5, 0.2},
+                               {0.2, -0.4}, {60, 150}};  // last is an outlier
+  std::vector<Ipv4Prefix> prefixes;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    prefixes.push_back(
+        Ipv4Prefix(Ipv4Addr(static_cast<std::uint32_t>(i + 1) << 8), 24));
+    sweep.emplace(prefixes.back(), server);
+  }
+  const PrefixLocator locator =
+      [&](const Ipv4Prefix& p) -> std::optional<GeoPoint> {
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      if (prefixes[i] == p) return points[i];
+    }
+    return std::nullopt;
+  };
+  const auto located = geolocate_servers({sweep}, locator);
+  ASSERT_EQ(located.size(), 1u);
+  EXPECT_LT(haversine_km(located[0].location, GeoPoint{0, 0}), 500.0);
+}
+
+TEST(Geolocation, EndToEndServerErrorsAreCityScale) {
+  auto& s = shared_tiny_scenario();
+  const scan::EcsMapper mapper(s.dns().authoritative(),
+                               s.topo().geography.cities().front().id);
+  std::vector<std::unordered_map<Ipv4Prefix, Ipv4Addr>> sweeps;
+  std::size_t used = 0;
+  for (const ServiceId sid : s.catalog().by_popularity()) {
+    const auto& svc = s.catalog().service(sid);
+    if (svc.redirection != cdn::RedirectionKind::kDnsRedirection ||
+        !svc.supports_ecs) {
+      continue;
+    }
+    sweeps.push_back(mapper.sweep(svc, s.topo().addresses.user_slash24s()));
+    if (++used >= 4) break;
+  }
+  ASSERT_GT(used, 0u);
+  const auto& topo = s.topo();
+  const PrefixLocator locator =
+      [&topo](const Ipv4Prefix& prefix) -> std::optional<GeoPoint> {
+    const auto asn = topo.addresses.origin_of(prefix);
+    if (!asn) return std::nullopt;
+    return topo.geography.city(topo.graph.info(*asn).home_city).location;
+  };
+  const auto located = geolocate_servers(sweeps, locator);
+  ASSERT_FALSE(located.empty());
+
+  const auto truth = [&](Ipv4Addr addr) -> std::optional<GeoPoint> {
+    const auto* ep = s.tls().endpoint_at(addr);
+    if (ep == nullptr) return std::nullopt;
+    return topo.geography.city(ep->city).location;
+  };
+  const auto score = score_geolocation(located, truth);
+  EXPECT_EQ(score.located, located.size());
+  // Client-centric geolocation should mostly land near the right city.
+  EXPECT_GT(score.frac_within_500km, 0.5);
+}
+
+TEST(MappingEval, CoverageSharesSumToOne) {
+  auto& s = shared_tiny_scenario();
+  const auto cov = mapping_coverage(s.catalog(), s.matrix());
+  const double sum = cov.ecs_dns_share + cov.non_ecs_dns_share +
+                     cov.anycast_share + cov.custom_url_share +
+                     cov.single_site_share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(cov.ecs_dns_share, 0.0);
+  EXPECT_GT(cov.single_site_share, 0.0);
+}
+
+TEST(MappingEval, AnycastOptimalityShape) {
+  auto& s = shared_tiny_scenario();
+  const auto result =
+      anycast_optimality(s.topo(), s.users(), s.mapper(), HypergiantId(0));
+  EXPECT_EQ(result.ases_considered, s.topo().accesses.size());
+  EXPECT_GE(result.routes_optimal, 0.0);
+  EXPECT_LE(result.routes_optimal, 1.0);
+  // The paper's key shape: user-weighted optimality >= route-weighted
+  // (big eyeballs peer directly and ingress near home).
+  EXPECT_GE(result.users_optimal + 0.05, result.routes_optimal);
+  // Within-500km share dominates exact-optimal share.
+  EXPECT_GE(result.users_within_500km, result.users_optimal - 1e-9);
+}
+
+}  // namespace
+}  // namespace itm::inference

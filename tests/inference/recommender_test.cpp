@@ -1,0 +1,126 @@
+#include "inference/recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+#include "routing/prediction.h"
+#include "routing/public_view.h"
+
+namespace itm::inference {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+// Builds the collector view and observed graph once for the fixture.
+class RecommenderTest : public ::testing::Test {
+ protected:
+  RecommenderTest() {
+    auto& s = shared_tiny_scenario();
+    const routing::Bgp bgp(s.topo().graph);
+    std::vector<Asn> feeders = s.topo().tier1s;
+    feeders.insert(feeders.end(), s.topo().transits.begin(),
+                   s.topo().transits.end());
+    std::vector<Asn> dests;
+    for (const auto& as : s.topo().graph.ases()) dests.push_back(as.asn);
+    view_ = routing::collect_public_view(bgp, feeders, dests);
+    observed_ = routing::observed_subgraph(s.topo().graph, view_);
+  }
+
+  routing::PublicView view_;
+  topology::AsGraph observed_;
+};
+
+TEST_F(RecommenderTest, RecommendsOnlyColocatedUnobservedPairs) {
+  auto& s = shared_tiny_scenario();
+  const PeeringRecommender rec(s.peeringdb(), observed_);
+  const auto candidates = rec.recommend(100);
+  for (const auto& c : candidates) {
+    EXPECT_FALSE(observed_.adjacent(c.a, c.b));
+    EXPECT_NE(s.peeringdb().lookup(c.a), nullptr);
+    EXPECT_NE(s.peeringdb().lookup(c.b), nullptr);
+    EXPECT_GT(c.score, 0.0);
+  }
+  // Scores are sorted descending.
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].score, candidates[i].score);
+  }
+}
+
+TEST_F(RecommenderTest, BeatsRandomBaseline) {
+  auto& s = shared_tiny_scenario();
+  const PeeringRecommender rec(s.peeringdb(), observed_);
+  const auto candidates = rec.recommend(60);
+  ASSERT_FALSE(candidates.empty());
+  const auto score = score_recommendations(candidates, s.topo().graph, view_);
+  EXPECT_GT(score.missing_total, 0u);
+
+  // Random baseline: precision of uniformly chosen co-located unobserved
+  // pairs equals the base rate of true links among them.
+  std::size_t universe = 0, universe_links = 0;
+  const auto& pdb = s.peeringdb();
+  for (const auto& ra : pdb.records()) {
+    for (const auto& rb : pdb.records()) {
+      if (ra.asn >= rb.asn) continue;
+      bool shared = false;
+      for (const auto fa : ra.facilities) {
+        for (const auto fb : rb.facilities) {
+          if (fa == fb) shared = true;
+        }
+      }
+      if (!shared || observed_.adjacent(ra.asn, rb.asn)) continue;
+      ++universe;
+      if (s.topo().graph.adjacent(ra.asn, rb.asn)) ++universe_links;
+    }
+  }
+  ASSERT_GT(universe, 0u);
+  const double base_rate =
+      static_cast<double>(universe_links) / static_cast<double>(universe);
+  EXPECT_GT(score.precision(), base_rate * 1.3)
+      << "precision " << score.precision() << " vs base " << base_rate;
+}
+
+TEST_F(RecommenderTest, ScoreZeroForUnregisteredOrNonColocated) {
+  auto& s = shared_tiny_scenario();
+  const PeeringRecommender rec(s.peeringdb(), observed_);
+  // Find an unregistered AS.
+  for (const auto& as : s.topo().graph.ases()) {
+    if (s.peeringdb().lookup(as.asn) == nullptr) {
+      EXPECT_DOUBLE_EQ(rec.score(as.asn, s.topo().hypergiants.front()), 0.0);
+      break;
+    }
+  }
+}
+
+TEST_F(RecommenderTest, AugmentGraphAddsCandidatesAsPeerings) {
+  auto& s = shared_tiny_scenario();
+  const PeeringRecommender rec(s.peeringdb(), observed_);
+  const auto candidates = rec.recommend(20);
+  ASSERT_FALSE(candidates.empty());
+  const auto augmented = augment_graph(observed_, candidates);
+  EXPECT_EQ(augmented.size(), observed_.size());
+  EXPECT_GE(augmented.links().size(),
+            observed_.links().size() + candidates.size() - 3);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(augmented.relation(c.a, c.b), topology::Relation::kPeer);
+  }
+}
+
+TEST_F(RecommenderTest, AugmentedGraphImprovesPathPrediction) {
+  auto& s = shared_tiny_scenario();
+  const PeeringRecommender rec(s.peeringdb(), observed_);
+  // Only the highest-scored candidates: augmentation helps when precision
+  // is high; flooding the graph with low-score guesses can reroute
+  // predictions wrongly (BGP prefers peer routes).
+  const auto candidates = rec.recommend(40);
+  const auto augmented = augment_graph(observed_, candidates);
+  const auto before = routing::evaluate_prediction(
+      s.topo().graph, observed_, view_, s.topo().accesses,
+      s.topo().hypergiants);
+  const auto after = routing::evaluate_prediction(
+      s.topo().graph, augmented, view_, s.topo().accesses,
+      s.topo().hypergiants);
+  EXPECT_GE(after.exact_rate(), before.exact_rate());
+}
+
+}  // namespace
+}  // namespace itm::inference

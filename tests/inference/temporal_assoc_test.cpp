@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+#include "core/workload.h"
+#include "inference/activity.h"
+#include "inference/temporal.h"
+
+namespace itm::inference {
+namespace {
+
+class TemporalAssocTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = core::Scenario::generate(core::tiny_config(555)).release();
+    core::Workload workload(*scenario_, {}, 9);
+    scan::CacheProbeConfig config;
+    config.record_sweeps = true;
+    prober_ = new scan::CacheProber(scenario_->dns(), scenario_->catalog(),
+                                    config, &scenario_->topo().addresses);
+    const auto routable = scenario_->topo().addresses.routable_slash24s();
+    for (std::size_t hour = 0; hour < 24; hour += 2) {
+      const SimTime at = hour * kSecondsPerHour + 1800;
+      workload.advance_to(at);
+      prober_->sweep(routable, at);
+    }
+    workload.finish();
+  }
+  static void TearDownTestSuite() {
+    delete prober_;
+    delete scenario_;
+  }
+
+  static core::Scenario* scenario_;
+  static scan::CacheProber* prober_;
+};
+
+core::Scenario* TemporalAssocTest::scenario_ = nullptr;
+scan::CacheProber* TemporalAssocTest::prober_ = nullptr;
+
+TEST_F(TemporalAssocTest, SweepRecordsMatchSweepCount) {
+  EXPECT_EQ(prober_->sweep_records().size(), 12u);
+  for (const auto& record : prober_->sweep_records()) {
+    for (const auto& [asn, counts] : record.by_as) {
+      EXPECT_LE(counts.first, counts.second);  // hits <= probes
+    }
+  }
+}
+
+TEST_F(TemporalAssocTest, SeriesAlignedWithSweeps) {
+  const auto activity = temporal_activity(*prober_);
+  EXPECT_EQ(activity.sweep_times.size(), 12u);
+  for (const auto& [asn, series] : activity.series) {
+    EXPECT_EQ(series.size(), 12u);
+  }
+  EXPECT_FALSE(activity.series.empty());
+}
+
+TEST_F(TemporalAssocTest, DiurnalShapeRecovered) {
+  const auto activity = temporal_activity(*prober_);
+  const auto score = score_temporal(activity, scenario_->topo());
+  EXPECT_GT(score.ases_scored, 5u);
+  EXPECT_GT(score.mean_shape_correlation, 0.4);
+  EXPECT_LT(score.mean_peak_error_h, 4.0);
+}
+
+TEST_F(TemporalAssocTest, PeakHourOnlyWithSignal) {
+  const auto activity = temporal_activity(*prober_);
+  // An AS absent from the series yields nullopt.
+  EXPECT_FALSE(
+      estimated_peak_hour_utc(activity, scenario_->topo().tier1s.front())
+          .has_value());
+}
+
+TEST_F(TemporalAssocTest, AssociationsRecorded) {
+  const auto& assoc = scenario_->dns().resolver_associations();
+  EXPECT_FALSE(assoc.empty());
+  // Associated client ASes are access networks.
+  for (const auto& [resolver, clients] : assoc) {
+    for (const auto& [asn, count] : clients) {
+      EXPECT_EQ(scenario_->topo().graph.info(Asn(asn)).type,
+                topology::AsType::kAccess);
+      EXPECT_GT(count, 0u);
+    }
+  }
+}
+
+TEST_F(TemporalAssocTest, AssociationsImproveRootCoverage) {
+  const auto crawl = scan::crawl_root_logs(scenario_->dns(),
+                                           scenario_->topo().addresses);
+  const auto plain = activity_from_root_logs(crawl);
+  const auto refined = activity_from_root_logs_with_associations(
+      scenario_->dns(), scenario_->topo().addresses);
+
+  // Count access ASes detected by each.
+  const auto count_access = [&](const ActivityEstimate& est) {
+    std::size_t n = 0;
+    for (const auto& [asn, score] : est.by_as) {
+      if (score > 0 && scenario_->topo().graph.info(Asn(asn)).type ==
+                           topology::AsType::kAccess) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(count_access(refined), count_access(plain));
+  // And the refined rank agreement is at least as good.
+  const auto plain_score =
+      score_activity(plain, scenario_->users(), scenario_->topo());
+  const auto refined_score =
+      score_activity(refined, scenario_->users(), scenario_->topo());
+  EXPECT_GE(refined_score.compared, plain_score.compared);
+}
+
+}  // namespace
+}  // namespace itm::inference

@@ -1,0 +1,117 @@
+// Cross-module invariants checked over multiple generated worlds: whatever
+// the seed, a scenario must satisfy these structural and conservation
+// properties end to end.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/scenario.h"
+#include "net/stats.h"
+#include "routing/bgp.h"
+
+namespace itm {
+namespace {
+
+class ScenarioInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  ScenarioInvariants()
+      : scenario_(core::Scenario::generate(core::tiny_config(GetParam()))) {}
+  std::unique_ptr<core::Scenario> scenario_;
+};
+
+TEST_P(ScenarioInvariants, FullReachability) {
+  const routing::Bgp bgp(scenario_->topo().graph);
+  const auto table = bgp.routes_to(scenario_->topo().tier1s.front());
+  for (const auto& as : scenario_->topo().graph.ases()) {
+    EXPECT_TRUE(table.at(as.asn).reachable()) << as.name;
+  }
+}
+
+TEST_P(ScenarioInvariants, TrafficConservation) {
+  const auto& m = scenario_->matrix();
+  const auto pb = m.prefix_bytes();
+  const double prefix_sum = std::accumulate(pb.begin(), pb.end(), 0.0);
+  EXPECT_NEAR(prefix_sum, m.total_bytes(), m.total_bytes() * 1e-9);
+  double service_sum = 0;
+  for (const auto& svc : scenario_->catalog().services()) {
+    service_sum += m.service_bytes(svc.id);
+  }
+  EXPECT_NEAR(service_sum, m.total_bytes(), m.total_bytes() * 1e-9);
+  EXPECT_DOUBLE_EQ(m.unreachable_bytes(), 0.0);
+}
+
+TEST_P(ScenarioInvariants, HypergiantShareMatchesCatalog) {
+  const auto& m = scenario_->matrix();
+  double hg_bytes = 0;
+  for (const auto& hg : scenario_->deployment().hypergiants()) {
+    hg_bytes += m.hypergiant_bytes(hg.id);
+  }
+  EXPECT_NEAR(hg_bytes / m.total_bytes(),
+              scenario_->config().services.hypergiant_traffic_share, 1e-6);
+}
+
+TEST_P(ScenarioInvariants, AddressingDisjointAndResolvable) {
+  const auto& plan = scenario_->topo().addresses;
+  const auto routable = plan.routable_slash24s();
+  for (std::size_t i = 0; i < routable.size(); i += 13) {
+    EXPECT_TRUE(plan.origin_of(routable[i]).has_value());
+  }
+  // Every TLS endpoint address resolves to its hosting AS.
+  for (const auto& [addr, ep] : scenario_->tls().all()) {
+    const auto origin = plan.origin_of(addr);
+    ASSERT_TRUE(origin.has_value());
+    EXPECT_EQ(*origin, ep.asn);
+  }
+}
+
+TEST_P(ScenarioInvariants, UsersSitInAccessNetworks) {
+  for (const auto& up : scenario_->users().all()) {
+    EXPECT_EQ(scenario_->topo().graph.info(up.asn).type,
+              topology::AsType::kAccess);
+  }
+}
+
+TEST_P(ScenarioInvariants, ApnicRanksTrackTruth) {
+  std::vector<double> est, truth;
+  for (const Asn a : scenario_->topo().accesses) {
+    if (!scenario_->apnic().covered(a)) continue;
+    est.push_back(scenario_->apnic().users(a));
+    truth.push_back(scenario_->users().as_users(a));
+  }
+  if (est.size() >= 8) {
+    EXPECT_GT(spearman(est, truth), 0.6);
+  }
+}
+
+TEST_P(ScenarioInvariants, MappingAlwaysReturnsReachableServer) {
+  const routing::Bgp bgp(scenario_->topo().graph);
+  const auto& catalog = scenario_->catalog();
+  const auto prefixes = scenario_->users().all();
+  // Sample a few (prefix, service) pairs.
+  for (std::size_t pi = 0; pi < prefixes.size(); pi += 37) {
+    const auto& up = prefixes[pi];
+    for (std::size_t si = 0; si < catalog.size(); si += 11) {
+      const auto& svc = catalog.service(
+          ServiceId(static_cast<std::uint32_t>(si)));
+      const auto result =
+          scenario_->mapper().map(svc, up.asn, up.city, up.city, pi ^ si);
+      const auto origin = scenario_->topo().addresses.origin_of(result.address);
+      ASSERT_TRUE(origin.has_value());
+      EXPECT_EQ(*origin, result.server_as);
+      const auto table = bgp.routes_to(result.server_as);
+      EXPECT_TRUE(table.at(up.asn).reachable());
+    }
+  }
+}
+
+TEST_P(ScenarioInvariants, DiurnalTrafficIsConcentrated) {
+  const auto hist = scenario_->matrix().bytes_by_hops();
+  const double total = std::accumulate(hist.begin(), hist.end(), 0.0);
+  EXPECT_GT((hist[0] + hist[1] + hist[2]) / total, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioInvariants,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace itm

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "net/geo.h"
+#include "net/sim_time.h"
+
+namespace itm {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+  const GeoPoint p{48.85, 2.35};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, OneDegreeAtEquatorIsAbout111Km) {
+  const GeoPoint a{0, 0}, b{0, 1};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 0.5);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{48.85, 2.35}, b{35.68, 139.69};  // Paris <-> Tokyo
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+  EXPECT_NEAR(haversine_km(a, b), 9710, 100);
+}
+
+TEST(Haversine, Antipodal) {
+  const GeoPoint a{0, 0}, b{0, 180};
+  EXPECT_NEAR(haversine_km(a, b), 20015, 20);  // half circumference
+}
+
+TEST(MinRtt, GrowsWithDistanceAndIsPositive) {
+  const GeoPoint a{0, 0}, near{0, 1}, far{0, 50};
+  EXPECT_GT(min_rtt_ms(a, far), min_rtt_ms(a, near));
+  EXPECT_GT(min_rtt_ms(a, near), 0.0);
+  // ~1575 km/deg... sanity: 50 degrees ~ 5560 km => RTT >= ~70ms at c/1.47*1.3
+  EXPECT_NEAR(min_rtt_ms(a, far), 2 * 5560 / (204.0 / 1.3), 10);
+}
+
+TEST(LocalHour, UtcAndOffsets) {
+  EXPECT_DOUBLE_EQ(local_hour(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(local_hour(kSecondsPerHour * 12, 0.0), 12.0);
+  EXPECT_DOUBLE_EQ(local_hour(0, 15.0), 1.0);    // +1h per 15 deg east
+  EXPECT_DOUBLE_EQ(local_hour(0, -30.0), 22.0);  // wraps below zero
+  EXPECT_DOUBLE_EQ(local_hour(kSecondsPerDay, 0.0), 0.0);  // wraps at a day
+}
+
+TEST(Diurnal, PeaksAt21Local) {
+  EXPECT_NEAR(diurnal_multiplier(21.0), 1.75, 1e-12);
+  EXPECT_NEAR(diurnal_multiplier(9.0), 0.25, 1e-12);  // trough opposite
+  EXPECT_GT(diurnal_multiplier(20.0), diurnal_multiplier(12.0));
+}
+
+TEST(Diurnal, MeanOverDayIsOne) {
+  double sum = 0;
+  const int steps = 24 * 60;
+  for (int i = 0; i < steps; ++i) {
+    sum += diurnal_multiplier(24.0 * i / steps);
+  }
+  EXPECT_NEAR(sum / steps, 1.0, 1e-6);
+}
+
+TEST(Diurnal, DepthZeroIsFlat) {
+  EXPECT_DOUBLE_EQ(diurnal_multiplier(3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(diurnal_multiplier(21.0, 0.0), 1.0);
+}
+
+TEST(DiurnalAt, LongitudeShiftsPhase) {
+  // At t where UTC hour is 21, longitude 0 peaks; longitude 180 troughs.
+  const SimTime t = 21 * kSecondsPerHour;
+  EXPECT_GT(diurnal_at(t, 0.0), diurnal_at(t, 180.0));
+}
+
+}  // namespace
+}  // namespace itm

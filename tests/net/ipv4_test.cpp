@@ -1,0 +1,102 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace itm {
+namespace {
+
+TEST(Ipv4Addr, FromOctetsAndBits) {
+  const auto a = Ipv4Addr::from_octets(10, 1, 2, 3);
+  EXPECT_EQ(a.bits(), 0x0a010203u);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("192.168.0.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Addr::from_octets(192, 168, 0, 1));
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->bits(), 0xffffffffu);
+}
+
+TEST(Ipv4Addr, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1), Ipv4Addr(2));
+  EXPECT_EQ(Ipv4Addr(7), Ipv4Addr(7));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Addr::from_octets(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.base(), Ipv4Addr::from_octets(10, 1, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+  const Ipv4Prefix q(Ipv4Addr::from_octets(10, 1, 2, 0), 24);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/x").has_value());
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const Ipv4Prefix p(Ipv4Addr::from_octets(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.contains(Ipv4Addr::from_octets(10, 255, 0, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr::from_octets(11, 0, 0, 0)));
+  const Ipv4Prefix all(Ipv4Addr(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Addr(0xffffffff)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const Ipv4Prefix p(Ipv4Addr::from_octets(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.contains(Ipv4Prefix(Ipv4Addr::from_octets(10, 1, 0, 0), 16)));
+  EXPECT_TRUE(p.contains(p));
+  EXPECT_FALSE(p.contains(Ipv4Prefix(Ipv4Addr(0), 0)));  // broader
+  EXPECT_FALSE(
+      p.contains(Ipv4Prefix(Ipv4Addr::from_octets(11, 0, 0, 0), 16)));
+}
+
+TEST(Ipv4Prefix, SizeAndChildren) {
+  const Ipv4Prefix p(Ipv4Addr::from_octets(10, 0, 0, 0), 22);
+  EXPECT_EQ(p.size(), 1024u);
+  EXPECT_EQ(p.child(24, 0), *Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(p.child(24, 3), *Ipv4Prefix::parse("10.0.3.0/24"));
+  EXPECT_EQ(p.child(32, 5).base(), Ipv4Addr::from_octets(10, 0, 0, 5));
+  EXPECT_EQ(p.address_at(257), Ipv4Addr::from_octets(10, 0, 1, 1));
+}
+
+TEST(Ipv4Prefix, ParentAt) {
+  const auto p = *Ipv4Prefix::parse("10.1.2.0/24");
+  EXPECT_EQ(p.parent_at(16), *Ipv4Prefix::parse("10.1.0.0/16"));
+  EXPECT_EQ(p.parent_at(0), Ipv4Prefix(Ipv4Addr(0), 0));
+}
+
+TEST(Ipv4Prefix, MaskEdges) {
+  EXPECT_EQ(Ipv4Prefix::mask_for(0), 0u);
+  EXPECT_EQ(Ipv4Prefix::mask_for(32), 0xffffffffu);
+  EXPECT_EQ(Ipv4Prefix::mask_for(8), 0xff000000u);
+}
+
+TEST(Ipv4Prefix, HashDistinguishesLengths) {
+  std::unordered_set<Ipv4Prefix> set;
+  set.insert(*Ipv4Prefix::parse("10.0.0.0/8"));
+  set.insert(*Ipv4Prefix::parse("10.0.0.0/16"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace itm

@@ -1,0 +1,145 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "net/rng.h"
+
+namespace itm {
+namespace {
+
+Ipv4Prefix pfx(const char* text) { return *Ipv4Prefix::parse(text); }
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 1);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/9")), nullptr);
+  EXPECT_TRUE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 9);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 9);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+
+  const auto m1 = trie.longest_match(Ipv4Addr::from_octets(10, 1, 2, 3));
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(m1->first, pfx("10.1.2.0/24"));
+  EXPECT_EQ(m1->second.get(), 24);
+
+  const auto m2 = trie.longest_match(Ipv4Addr::from_octets(10, 1, 9, 0));
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->second.get(), 16);
+
+  const auto m3 = trie.longest_match(Ipv4Addr::from_octets(10, 9, 9, 9));
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_EQ(m3->second.get(), 8);
+
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr::from_octets(11, 0, 0, 0)));
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(0), 0), 0);
+  const auto m = trie.longest_match(Ipv4Addr(0xdeadbeef));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->first.length(), 0);
+}
+
+TEST(PrefixTrie, LongestCovering) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  const auto c = trie.longest_covering(pfx("10.1.2.0/24"));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->second.get(), 16);
+  // Exact entry covers itself.
+  const auto self = trie.longest_covering(pfx("10.1.0.0/16"));
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->second.get(), 16);
+  EXPECT_FALSE(trie.longest_covering(pfx("11.0.0.0/24")).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.2.0.0/16"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  trie.insert(pfx("10.0.0.0/8"), 3);
+  const auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Parent first, then children in address order.
+  EXPECT_EQ(entries[0].first, pfx("10.0.0.0/8"));
+  EXPECT_EQ(entries[1].first, pfx("10.1.0.0/16"));
+  EXPECT_EQ(entries[2].first, pfx("10.2.0.0/16"));
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.1/32"), 7);
+  const auto m = trie.longest_match(Ipv4Addr::from_octets(10, 0, 0, 1));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->second.get(), 7);
+  EXPECT_FALSE(trie.longest_match(Ipv4Addr::from_octets(10, 0, 0, 2)));
+}
+
+// Property: LPM agrees with brute force over random prefix sets.
+class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Ipv4Prefix, int> reference;
+  for (int i = 0; i < 300; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(4, 28));
+    const Ipv4Prefix p(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                       len);
+    trie.insert(p, i);
+    reference[p] = i;
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+  for (int probe = 0; probe < 500; ++probe) {
+    const Ipv4Addr addr(static_cast<std::uint32_t>(rng.next_u64()));
+    // Brute force: most specific containing prefix.
+    const Ipv4Prefix* best = nullptr;
+    int best_value = -1;
+    for (const auto& [p, v] : reference) {
+      if (p.contains(addr) && (best == nullptr || p.length() > best->length())) {
+        best = &p;
+        best_value = v;
+      }
+    }
+    const auto got = trie.longest_match(addr);
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->first, *best);
+      EXPECT_EQ(got->second.get(), best_value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+}  // namespace
+}  // namespace itm

@@ -1,0 +1,205 @@
+#include "net/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace itm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  // Two parents seeded identically fork the same child stream.
+  Rng p1(7), p2(7);
+  Rng c1 = p1.fork(5);
+  Rng c2 = p2.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  // Different stream ids give different children.
+  Rng p3(7);
+  Rng c3 = p3.fork(6);
+  int equal = 0;
+  Rng c1b = Rng(7).fork(5);
+  for (int i = 0; i < 50; ++i) {
+    if (c1b.next_u64() == c3.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(42);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, 10000, 600);
+  }
+}
+
+TEST(Rng, NextBelowOne) {
+  Rng rng(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(42);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(42);
+  double sum = 0, ss = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    ss += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 100000, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoBoundsAndTail) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(Rng, PoissonSmallAndLargeMeans) {
+  Rng rng(42);
+  for (const double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(42);
+  const double weights[] = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.6, 0.015);
+}
+
+TEST(Rng, SampleIndicesDistinctAndComplete) {
+  Rng rng(42);
+  const auto some = rng.sample_indices(100, 10);
+  EXPECT_EQ(some.size(), 10u);
+  std::unordered_set<std::size_t> set(some.begin(), some.end());
+  EXPECT_EQ(set.size(), 10u);
+  for (const auto i : some) EXPECT_LT(i, 100u);
+
+  const auto all = rng.sample_indices(10, 10);
+  std::unordered_set<std::size_t> full(all.begin(), all.end());
+  EXPECT_EQ(full.size(), 10u);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(42);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfSampler, PmfSumsToOneAndDecreases) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (std::size_t k = 0; k < 100; ++k) {
+    total += zipf.pmf(k);
+    if (k > 0) {
+      EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, SampleFrequenciesMatchPmf) {
+  const ZipfSampler zipf(10, 1.2);
+  Rng rng(42);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), zipf.pmf(k),
+                0.01)
+        << "rank " << k;
+  }
+}
+
+class ZipfExponentProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentProperty, HeadShareGrowsWithExponent) {
+  const double s = GetParam();
+  const ZipfSampler zipf(1000, s);
+  double head = 0;
+  for (std::size_t k = 0; k < 10; ++k) head += zipf.pmf(k);
+  // Higher exponent concentrates more mass at the head.
+  const ZipfSampler flat(1000, 0.1);
+  double flat_head = 0;
+  for (std::size_t k = 0; k < 10; ++k) flat_head += flat.pmf(k);
+  EXPECT_GT(head, flat_head);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentProperty,
+                         ::testing::Values(0.6, 0.9, 1.2, 1.5));
+
+}  // namespace
+}  // namespace itm

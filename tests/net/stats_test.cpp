@@ -1,0 +1,144 @@
+#include "net/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace itm {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one{7.0};
+  const auto s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Pearson, PerfectAndInverse) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Spearman, MonotonicNonlinearIsOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x{1, 2, 2, 4};
+  const std::vector<double> y{1, 3, 3, 9};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};  // y = 2x + 1
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineHasLowerR2) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  const std::vector<double> y{0.0, 2.5, 1.5, 4.0, 3.0};
+  const auto fit = fit_linear(x, y);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.3);
+}
+
+TEST(KendallTau, PerfectAgreementAndDisagreement) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> up{10, 20, 30, 40};
+  const std::vector<double> down{40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, up), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(x, down), -1.0);
+}
+
+TEST(WeightedCdf, UnitWeightsBehaveLikeEcdf) {
+  WeightedCdf cdf;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(WeightedCdf, WeightsShiftTheDistribution) {
+  // The paper's core argument: one heavy sample dominates the weighted view.
+  WeightedCdf weighted;
+  weighted.add(1.0, 1.0);
+  weighted.add(2.0, 1.0);
+  weighted.add(10.0, 98.0);
+  EXPECT_NEAR(weighted.fraction_at_or_below(2.0), 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(weighted.quantile(0.5), 10.0);
+
+  WeightedCdf unweighted;
+  unweighted.add(1.0);
+  unweighted.add(2.0);
+  unweighted.add(10.0);
+  EXPECT_NEAR(unweighted.fraction_at_or_below(2.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(WeightedCdf, IgnoresNonPositiveWeights) {
+  WeightedCdf cdf;
+  cdf.add(1.0, 0.0);
+  cdf.add(2.0, -1.0);
+  EXPECT_EQ(cdf.sample_count(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(WeightedCdf, CurveEndpoints) {
+  WeightedCdf cdf;
+  cdf.add(0.0);
+  cdf.add(10.0);
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Gini, UniformIsZeroConcentratedIsHigh) {
+  const std::vector<double> equal{5, 5, 5, 5};
+  EXPECT_NEAR(gini(equal), 0.0, 1e-12);
+  const std::vector<double> concentrated{0, 0, 0, 100};
+  EXPECT_NEAR(gini(concentrated), 0.75, 1e-12);
+}
+
+TEST(TopKShare, KnownValues) {
+  const std::vector<double> masses{50, 30, 10, 5, 5};
+  EXPECT_NEAR(top_k_share(masses, 1), 0.5, 1e-12);
+  EXPECT_NEAR(top_k_share(masses, 2), 0.8, 1e-12);
+  EXPECT_NEAR(top_k_share(masses, 99), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(top_k_share(masses, 0), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_share({}, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace itm

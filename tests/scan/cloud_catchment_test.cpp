@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "../test_scenario.h"
+#include "scan/catchment.h"
+#include "scan/cloud_prober.h"
+
+namespace itm::scan {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(CloudProber, RevealsTheCloudsOwnPeeringLinks) {
+  auto& s = shared_tiny_scenario();
+  const Asn cloud = s.topo().hypergiants.front();
+  const auto cloud_view = probe_from_cloud(s.topo(), cloud);
+
+  // Every peering link of the cloud that its best paths actually use is
+  // observed; in particular, direct cloud<->eyeball links are on the
+  // one-hop best path and must all appear.
+  std::size_t direct_total = 0, direct_seen = 0;
+  for (const auto& link : s.topo().graph.links()) {
+    if (link.a != cloud && link.b != cloud) continue;
+    if (link.a_to_b != topology::Relation::kPeer) continue;
+    ++direct_total;
+    if (cloud_view.observed(link.a, link.b)) ++direct_seen;
+  }
+  ASSERT_GT(direct_total, 0u);
+  EXPECT_EQ(direct_seen, direct_total);
+}
+
+TEST(CloudProber, MergingImprovesViewCoverage) {
+  auto& s = shared_tiny_scenario();
+  const routing::Bgp bgp(s.topo().graph);
+  std::vector<Asn> dests;
+  for (const auto& as : s.topo().graph.ases()) dests.push_back(as.asn);
+  auto view = routing::collect_public_view(bgp, s.topo().tier1s, dests);
+  const double before = view.peering_coverage(s.topo().graph);
+  view.merge(probe_from_cloud(s.topo(), s.topo().hypergiants.front()));
+  const double after = view.peering_coverage(s.topo().graph);
+  EXPECT_GT(after, before);
+}
+
+TEST(CatchmentMapper, MeasurementMatchesActualCatchments) {
+  auto& s = shared_tiny_scenario();
+  const HypergiantId hg(0);
+  const auto map = measure_catchments(s.mapper(), hg, s.topo().accesses);
+  EXPECT_EQ(map.catchment.size(), s.topo().accesses.size());
+  for (const Asn client : s.topo().accesses) {
+    const auto site = map.site_of(client);
+    ASSERT_TRUE(site.has_value());
+    EXPECT_EQ(*site, s.mapper().anycast_site(hg, client));
+    EXPECT_FALSE(s.deployment().pop(*site).offnet);
+  }
+  EXPECT_FALSE(map.site_of(s.topo().tier1s.front()).has_value());
+}
+
+TEST(CatchmentMapper, BeatsTheOptimalityAssumption) {
+  auto& s = shared_tiny_scenario();
+  const HypergiantId hg(0);
+  const auto map = measure_catchments(s.mapper(), hg, s.topo().accesses);
+  // The "assume optimal site" heuristic mis-assigns some ASes; measured
+  // catchments are exact by construction.
+  std::size_t heuristic_right = 0;
+  for (const Asn client : s.topo().accesses) {
+    const auto optimal = s.mapper().optimal_site(
+        hg, s.topo().graph.info(client).home_city);
+    if (optimal == *map.site_of(client)) ++heuristic_right;
+  }
+  EXPECT_LT(heuristic_right, s.topo().accesses.size());
+}
+
+}  // namespace
+}  // namespace itm::scan

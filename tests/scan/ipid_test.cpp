@@ -1,0 +1,146 @@
+#include "scan/ipid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "../test_scenario.h"
+#include "net/stats.h"
+#include "scan/traceroute.h"
+
+namespace itm::scan {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(RouterModel, CounterIsMonotoneModulo16Bits) {
+  RouterModel r;
+  r.base_ips = 2.0;
+  r.traffic_ips = 10.0;
+  std::uint64_t unwrapped = 0;
+  std::uint16_t prev = r.id_at(0);
+  for (SimTime t = 30; t <= 3600; t += 30) {
+    const std::uint16_t cur = r.id_at(t);
+    unwrapped += static_cast<std::uint16_t>(cur - prev);
+    prev = cur;
+  }
+  // Mean rate 12/s for an hour ~= 43200 increments (diurnal-modulated).
+  EXPECT_GT(unwrapped, 3600u * 3);
+  EXPECT_LT(unwrapped, 3600u * 25);
+}
+
+TEST(RouterModel, MeanRateRecoveredOverFullDay) {
+  RouterModel r;
+  r.base_ips = 1.0;
+  r.traffic_ips = 50.0;
+  r.lon_deg = 45.0;
+  // Integrate over a full day: diurnal term integrates out.
+  const std::uint64_t total =
+      [&] {
+        std::uint64_t sum = 0;
+        std::uint16_t prev = r.id_at(0);
+        for (SimTime t = 30; t <= kSecondsPerDay; t += 30) {
+          const std::uint16_t cur = r.id_at(t);
+          sum += static_cast<std::uint16_t>(cur - prev);
+          prev = cur;
+        }
+        return sum;
+      }();
+  EXPECT_NEAR(static_cast<double>(total) / kSecondsPerDay, r.mean_rate(),
+              r.mean_rate() * 0.02);
+}
+
+TEST(RouterFleet, OneRouterPerAsWithUniqueInterfaces) {
+  auto& s = shared_tiny_scenario();
+  EXPECT_EQ(s.routers().routers().size(), s.topo().graph.size());
+  std::unordered_set<Ipv4Addr> seen;
+  for (const auto& r : s.routers().routers()) {
+    EXPECT_TRUE(seen.insert(r.interface).second);
+    EXPECT_EQ(s.routers().at(r.interface), &s.routers().of(r.asn));
+    // Interface is in the AS's infra /24.
+    EXPECT_TRUE(
+        s.topo().addresses.of(r.asn).infra_slash24.contains(r.interface));
+  }
+  EXPECT_EQ(s.routers().at(Ipv4Addr(12345)), nullptr);
+}
+
+TEST(RouterFleet, VelocityTracksForwardedBytes) {
+  auto& s = shared_tiny_scenario();
+  std::vector<double> velocity, bytes;
+  for (const auto& r : s.routers().routers()) {
+    velocity.push_back(r.traffic_ips);
+    bytes.push_back(s.routers().forwarded_bytes(r.asn));
+  }
+  EXPECT_GT(pearson(velocity, bytes), 0.98);
+}
+
+TEST(IpIdProber, EstimateMatchesTrueMeanRate) {
+  auto& s = shared_tiny_scenario();
+  const IpIdProber prober(s.routers());
+  const auto& r = s.routers().of(s.topo().tier1s.front());
+  const auto estimate =
+      prober.estimate_velocity(r.interface, 0, kSecondsPerDay, 30);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, r.mean_rate(), r.mean_rate() * 0.05 + 0.2);
+}
+
+TEST(IpIdProber, PingUnknownAddressFails) {
+  auto& s = shared_tiny_scenario();
+  const IpIdProber prober(s.routers());
+  EXPECT_FALSE(prober.ping(Ipv4Addr(99), 0).has_value());
+  EXPECT_FALSE(
+      prober.estimate_velocity(Ipv4Addr(99), 0, 3600, 30).has_value());
+}
+
+TEST(IpIdProber, ProfilePeaksNearLocalEvening) {
+  auto& s = shared_tiny_scenario();
+  const IpIdProber prober(s.routers());
+  // Pick a busy router so the diurnal component dominates the base rate.
+  const RouterModel* busy = &s.routers().routers().front();
+  for (const auto& r : s.routers().routers()) {
+    if (r.traffic_ips > busy->traffic_ips) busy = &r;
+  }
+  const auto profile = prober.velocity_profile(busy->interface, 0, 24, 60);
+  ASSERT_EQ(profile.size(), 24u);
+  const auto peak_hour = static_cast<double>(
+      std::max_element(profile.begin(), profile.end()) - profile.begin());
+  // Expected UTC peak hour: 21 - lon/15 (mod 24), +-2h tolerance
+  double expected = std::fmod(21.0 - busy->lon_deg / 15.0 + 48.0, 24.0);
+  double diff = std::abs(peak_hour + 0.5 - expected);
+  diff = std::min(diff, 24.0 - diff);
+  EXPECT_LE(diff, 2.5);
+  // And the profile is genuinely diurnal: max/min ratio is large.
+  const double lo = *std::min_element(profile.begin(), profile.end());
+  const double hi = *std::max_element(profile.begin(), profile.end());
+  EXPECT_GT(hi, 2.0 * std::max(lo, 1e-9));
+}
+
+TEST(IpIdProber, DegenerateWindows) {
+  auto& s = shared_tiny_scenario();
+  const IpIdProber prober(s.routers());
+  const auto& r = s.routers().routers().front();
+  EXPECT_FALSE(prober.estimate_velocity(r.interface, 100, 100, 30).has_value());
+  EXPECT_FALSE(prober.estimate_velocity(r.interface, 100, 50, 30).has_value());
+  EXPECT_FALSE(prober.estimate_velocity(r.interface, 0, 3600, 0).has_value());
+}
+
+TEST(Traceroute, FollowsBgpPathWithMonotoneRtt) {
+  auto& s = shared_tiny_scenario();
+  const Traceroute tracer(s.topo(), s.routers());
+  const Asn src = s.topo().accesses.front();
+  const Asn dst_as = s.topo().hypergiants.front();
+  const auto dst = s.topo().addresses.of(dst_as).infra_slash24.address_at(1);
+  const auto hops = tracer.trace(src, dst);
+  ASSERT_FALSE(hops.empty());
+  EXPECT_EQ(hops.front().asn, src);
+  EXPECT_EQ(hops.back().asn, dst_as);
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    EXPECT_GE(hops[i].rtt_ms, hops[i - 1].rtt_ms);
+  }
+  // Unroutable destination yields an empty trace.
+  EXPECT_TRUE(tracer.trace(src, Ipv4Addr(3)).empty());
+}
+
+}  // namespace
+}  // namespace itm::scan

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "../test_scenario.h"
+#include "core/workload.h"
+#include "scan/ecs_mapper.h"
+#include "scan/root_crawler.h"
+#include "scan/tls_scanner.h"
+
+namespace itm::scan {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(RootCrawler, AttributesQueriesToResolverAses) {
+  auto scenario = core::Scenario::generate(core::tiny_config(61));
+  core::Workload workload(*scenario, core::WorkloadConfig{}, 3);
+  workload.finish();
+  const auto crawl =
+      crawl_root_logs(scenario->dns(), scenario->topo().addresses);
+  EXPECT_GT(crawl.total_crawled, 0u);
+  EXPECT_EQ(crawl.total_attributed, crawl.total_crawled);
+  // Every detected AS hosts a resolver: an access network with its own, a
+  // transit/tier-1 provider hosting outsourced resolvers, or the public
+  // resolver operator's AS.
+  const Asn public_as = scenario->topo().hypergiants.front();
+  for (const Asn asn : crawl.detected_ases()) {
+    const auto type = scenario->topo().graph.info(asn).type;
+    EXPECT_TRUE(type == topology::AsType::kAccess ||
+                type == topology::AsType::kTransit ||
+                type == topology::AsType::kTier1 || asn == public_as)
+        << scenario->topo().graph.info(asn).name;
+  }
+  // A substantial share of access networks is detected — but not all: the
+  // resolver-outsourcing blind spot caps this technique's coverage.
+  std::size_t detected_access = 0;
+  for (const Asn asn : crawl.detected_ases()) {
+    if (scenario->topo().graph.info(asn).type == topology::AsType::kAccess) {
+      ++detected_access;
+    }
+  }
+  EXPECT_GT(detected_access, scenario->topo().accesses.size() / 4);
+  EXPECT_LT(detected_access, scenario->topo().accesses.size());
+}
+
+TEST(TlsScanner, FindsAllEndpointsAndClassifiesOperators) {
+  auto& s = shared_tiny_scenario();
+  const TlsScanner scanner(s.tls(), s.topo().addresses);
+  std::vector<std::string> names;
+  for (const auto& hg : s.deployment().hypergiants()) names.push_back(hg.name);
+  const auto result = scanner.sweep(names);
+  EXPECT_EQ(result.endpoints.size(), s.tls().size());
+  EXPECT_EQ(result.addresses_probed,
+            s.topo().addresses.total_slash24_count() * 256);
+
+  // Every hypergiant front end classified to its operator.
+  std::unordered_set<Ipv4Addr> classified;
+  for (const auto& ep : result.endpoints) {
+    if (!ep.inferred_operator.empty()) classified.insert(ep.address);
+  }
+  for (const auto& fe : s.deployment().front_ends()) {
+    EXPECT_TRUE(classified.contains(fe.address));
+  }
+}
+
+TEST(TlsScanner, OffnetInferenceMatchesGroundTruth) {
+  auto& s = shared_tiny_scenario();
+  const TlsScanner scanner(s.tls(), s.topo().addresses);
+  std::vector<std::string> names;
+  for (const auto& hg : s.deployment().hypergiants()) names.push_back(hg.name);
+  const auto result = scanner.sweep(names);
+  std::size_t checked = 0;
+  for (const auto& ep : result.endpoints) {
+    const auto* truth = s.tls().endpoint_at(ep.address);
+    ASSERT_NE(truth, nullptr);
+    if (!truth->hypergiant.has_value() ||
+        truth->default_cert_names.size() < 2) {
+      continue;  // dedicated service addresses, not CDN front ends
+    }
+    EXPECT_EQ(ep.inferred_offnet, truth->offnet) << ep.address;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(TlsScanner, SniScanFindsFootprint) {
+  auto& s = shared_tiny_scenario();
+  const TlsScanner scanner(s.tls(), s.topo().addresses);
+  // Pick a DNS-redirected hypergiant service; its footprint is its
+  // hypergiant's front ends.
+  const cdn::Service* svc = nullptr;
+  for (const auto& candidate : s.catalog().services()) {
+    if (candidate.redirection == cdn::RedirectionKind::kDnsRedirection) {
+      svc = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(svc, nullptr);
+  std::vector<Ipv4Addr> addresses;
+  for (const auto& fe : s.deployment().front_ends()) {
+    addresses.push_back(fe.address);
+  }
+  const auto footprint = scanner.sni_scan(svc->hostname, addresses);
+  std::size_t expected = 0;
+  for (const auto& fe : s.deployment().front_ends()) {
+    if (fe.owner == *svc->hypergiant) ++expected;
+  }
+  EXPECT_EQ(footprint.size(), expected);
+}
+
+TEST(EcsMapper, SweepMatchesAuthoritativeAnswers) {
+  auto& s = shared_tiny_scenario();
+  const EcsMapper mapper(s.dns().authoritative(),
+                         s.topo().geography.cities().front().id);
+  const cdn::Service* svc = nullptr;
+  for (const auto& candidate : s.catalog().services()) {
+    if (candidate.supports_ecs) {
+      svc = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(svc, nullptr);
+  const auto user24s = s.topo().addresses.user_slash24s();
+  const auto sweep = mapper.sweep(*svc, user24s);
+  EXPECT_EQ(sweep.size(), user24s.size());
+  for (const auto& [prefix, address] : sweep) {
+    const auto ans =
+        s.dns().authoritative().answer(*svc, prefix, CityId(0));
+    EXPECT_EQ(address, ans.address);
+  }
+}
+
+}  // namespace
+}  // namespace itm::scan

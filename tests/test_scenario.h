@@ -1,0 +1,16 @@
+// Shared tiny scenario for module tests: generated once per test binary so
+// fixtures stay fast. Tests must not mutate the scenario except through the
+// DNS system (which is reset-free but monotonic; tests that need virgin
+// cache state should use their own scenario).
+#pragma once
+
+#include "core/scenario.h"
+
+namespace itm::testing {
+
+inline core::Scenario& shared_tiny_scenario() {
+  static auto scenario = core::Scenario::generate(core::tiny_config(1234));
+  return *scenario;
+}
+
+}  // namespace itm::testing

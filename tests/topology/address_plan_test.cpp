@@ -1,0 +1,115 @@
+#include "topology/address_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace itm::topology {
+namespace {
+
+TopologyConfig small_topology() {
+  TopologyConfig c;
+  c.geography.num_countries = 3;
+  c.geography.cities_per_country = 4;
+  c.num_tier1 = 3;
+  c.num_transit = 6;
+  c.num_access = 15;
+  c.num_content = 6;
+  c.num_hypergiants = 2;
+  c.num_enterprise = 5;
+  return c;
+}
+
+class AddressPlanTest : public ::testing::Test {
+ protected:
+  AddressPlanTest() : rng_(11), topo_(generate_topology(small_topology(), rng_)) {}
+  Rng rng_;
+  Topology topo_;
+};
+
+TEST_F(AddressPlanTest, AggregatesDoNotOverlap) {
+  const auto& all = topo_.addresses.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_FALSE(all[i].aggregate.contains(all[j].aggregate))
+          << all[i].aggregate << " contains " << all[j].aggregate;
+      EXPECT_FALSE(all[j].aggregate.contains(all[i].aggregate));
+    }
+  }
+}
+
+TEST_F(AddressPlanTest, AggregateSizedToNeeds) {
+  for (const auto& a : topo_.addresses.all()) {
+    const std::uint64_t needed =
+        a.user_slash24s + a.content_slash24s + a.misc_slash24s + 1;
+    EXPECT_GE(a.aggregate.size() / 256, needed);
+    // Power-of-two and not more than 2x oversized.
+    EXPECT_LT(a.aggregate.size() / 256, 2 * needed);
+  }
+}
+
+TEST_F(AddressPlanTest, RangesDisjointWithinAggregate) {
+  for (const auto& a : topo_.addresses.all()) {
+    if (a.user_slash24s == 0 || a.content_slash24s == 0) continue;
+    const auto user_last =
+        topo_.addresses.user_slash24(a.asn, a.user_slash24s - 1);
+    const auto content_first = topo_.addresses.content_slash24(a.asn, 0);
+    EXPECT_LT(user_last.base(), content_first.base());
+  }
+}
+
+TEST_F(AddressPlanTest, InfraIsLastAnnouncedSlash24) {
+  for (const auto& a : topo_.addresses.all()) {
+    EXPECT_TRUE(a.aggregate.contains(a.infra_slash24));
+    EXPECT_EQ(a.announced_slash24s,
+              a.user_slash24s + a.content_slash24s + a.misc_slash24s + 1);
+    EXPECT_LE(a.announced_slash24s, a.aggregate.size() / 256);
+    EXPECT_EQ(a.infra_slash24, a.aggregate.child(24, a.announced_slash24s - 1));
+  }
+}
+
+TEST_F(AddressPlanTest, OriginLookupByAddressAndPrefix) {
+  for (const auto& a : topo_.addresses.all()) {
+    EXPECT_EQ(topo_.addresses.origin_of(a.aggregate.base()), a.asn);
+    EXPECT_EQ(topo_.addresses.origin_of(a.infra_slash24), a.asn);
+    EXPECT_EQ(
+        topo_.addresses.origin_of(a.aggregate.address_at(a.aggregate.size() - 1)),
+        a.asn);
+  }
+  // Unallocated space has no origin.
+  EXPECT_FALSE(topo_.addresses.origin_of(Ipv4Addr::from_octets(0, 1, 2, 3))
+                   .has_value());
+}
+
+TEST_F(AddressPlanTest, AccessAsesHaveUsers) {
+  for (const Asn asn : topo_.accesses) {
+    EXPECT_GT(topo_.addresses.of(asn).user_slash24s, 0u);
+  }
+  for (const Asn asn : topo_.tier1s) {
+    EXPECT_EQ(topo_.addresses.of(asn).user_slash24s, 0u);
+  }
+}
+
+TEST_F(AddressPlanTest, RoutableEnumerationMatchesTotals) {
+  const auto routable = topo_.addresses.routable_slash24s();
+  EXPECT_EQ(routable.size(), topo_.addresses.total_slash24_count());
+  // All enumerated /24s resolve to an origin.
+  for (std::size_t i = 0; i < routable.size(); i += 97) {
+    EXPECT_TRUE(topo_.addresses.origin_of(routable[i]).has_value());
+  }
+}
+
+TEST_F(AddressPlanTest, UserSlash24sAreSubsetOfRoutable) {
+  const auto user = topo_.addresses.user_slash24s();
+  std::size_t expected = 0;
+  for (const auto& a : topo_.addresses.all()) expected += a.user_slash24s;
+  EXPECT_EQ(user.size(), expected);
+  for (const auto& p : user) {
+    const auto asn = topo_.addresses.origin_of(p);
+    ASSERT_TRUE(asn.has_value());
+    EXPECT_EQ(topo_.graph.info(*asn).type, AsType::kAccess);
+  }
+}
+
+}  // namespace
+}  // namespace itm::topology

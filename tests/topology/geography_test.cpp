@@ -1,0 +1,117 @@
+#include "topology/geography.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace itm::topology {
+namespace {
+
+GeographyConfig small_config() {
+  GeographyConfig c;
+  c.num_countries = 5;
+  c.cities_per_country = 6;
+  return c;
+}
+
+TEST(Geography, GeneratesRequestedCounts) {
+  Rng rng(1);
+  const auto geo = Geography::generate(small_config(), rng);
+  EXPECT_EQ(geo.countries().size(), 5u);
+  EXPECT_EQ(geo.cities().size(), 30u);
+  EXPECT_FALSE(geo.facilities().empty());
+}
+
+TEST(Geography, CountrySharesSumToOne) {
+  Rng rng(2);
+  const auto geo = Geography::generate(small_config(), rng);
+  double total = 0;
+  for (const auto& c : geo.countries()) total += c.user_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Geography, CityWeightsSumToOnePerCountry) {
+  Rng rng(3);
+  const auto geo = Geography::generate(small_config(), rng);
+  for (const auto& country : geo.countries()) {
+    double total = 0;
+    for (const CityId id : country.cities) {
+      total += geo.city(id).population_weight;
+      EXPECT_EQ(geo.city(id).country, country.id);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Geography, CoordinatesAreValid) {
+  Rng rng(4);
+  const auto geo = Geography::generate(small_config(), rng);
+  for (const auto& city : geo.cities()) {
+    EXPECT_GE(city.location.lat_deg, -90.0);
+    EXPECT_LE(city.location.lat_deg, 90.0);
+    EXPECT_GE(city.location.lon_deg, -180.0);
+    EXPECT_LE(city.location.lon_deg, 180.0);
+  }
+}
+
+TEST(Geography, FacilitiesOnlyInLargerCities) {
+  Rng rng(5);
+  const auto geo = Geography::generate(small_config(), rng);
+  for (const auto& facility : geo.facilities()) {
+    const auto& city = geo.city(facility.city);
+    // Facilities sit in the top half of cities by construction.
+    const auto& country = geo.country(city.country);
+    const auto it = std::find(country.cities.begin(), country.cities.end(),
+                              city.id);
+    const auto rank = static_cast<std::size_t>(it - country.cities.begin());
+    EXPECT_LT(rank, std::max<std::size_t>(1, country.cities.size() / 2));
+  }
+  // The largest city of each country has at least one facility.
+  for (const auto& country : geo.countries()) {
+    EXPECT_FALSE(geo.facilities_in(country.cities.front()).empty());
+  }
+}
+
+TEST(Geography, SampleCityRespectsCountry) {
+  Rng rng(6);
+  const auto geo = Geography::generate(small_config(), rng);
+  for (int i = 0; i < 50; ++i) {
+    const auto country = geo.sample_country(rng);
+    const auto city = geo.sample_city(country, rng);
+    EXPECT_EQ(geo.city(city).country, country);
+  }
+}
+
+TEST(Geography, SampleCountryFavorsLargeShares) {
+  Rng rng(7);
+  const auto geo = Geography::generate(small_config(), rng);
+  // Find the largest-share country and verify it is sampled most often.
+  std::size_t largest = 0;
+  for (std::size_t c = 0; c < geo.countries().size(); ++c) {
+    if (geo.countries()[c].user_share >
+        geo.countries()[largest].user_share) {
+      largest = c;
+    }
+  }
+  std::vector<int> counts(geo.countries().size(), 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[geo.sample_country(rng).value()];
+  }
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    EXPECT_GE(counts[largest], counts[c]);
+  }
+}
+
+TEST(Geography, DeterministicForSeed) {
+  Rng r1(9), r2(9);
+  const auto g1 = Geography::generate(small_config(), r1);
+  const auto g2 = Geography::generate(small_config(), r2);
+  ASSERT_EQ(g1.cities().size(), g2.cities().size());
+  for (std::size_t i = 0; i < g1.cities().size(); ++i) {
+    EXPECT_EQ(g1.cities()[i].location, g2.cities()[i].location);
+    EXPECT_EQ(g1.cities()[i].name, g2.cities()[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace itm::topology

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_scenario.h"
+#include "routing/public_view.h"
+#include "topology/generator.h"
+
+namespace itm::topology {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(Ixp, LargerCountriesGetExchanges) {
+  auto& s = shared_tiny_scenario();
+  EXPECT_FALSE(s.topo().ixps.empty());
+  EXPECT_LE(s.topo().ixps.size(), s.topo().geography.countries().size());
+}
+
+TEST(Ixp, MembersArePresentAtTheFacility) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& ixp : s.topo().ixps) {
+    for (const Asn member : ixp.members) {
+      const auto& info = s.topo().graph.info(member);
+      EXPECT_NE(std::find(info.facilities.begin(), info.facilities.end(),
+                          ixp.facility),
+                info.facilities.end())
+          << info.name << " not at " << ixp.name;
+      EXPECT_NE(info.type, AsType::kTier1);
+      EXPECT_NE(info.type, AsType::kHypergiant);
+      EXPECT_NE(info.type, AsType::kEnterprise);
+    }
+  }
+}
+
+TEST(Ixp, RouteServerParticipantsAreMembers) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& ixp : s.topo().ixps) {
+    for (const Asn participant : ixp.route_server_participants) {
+      EXPECT_NE(std::find(ixp.members.begin(), ixp.members.end(), participant),
+                ixp.members.end());
+      EXPECT_NE(s.topo().graph.info(participant).policy,
+                PeeringPolicy::kRestrictive);
+    }
+  }
+}
+
+TEST(Ixp, RouteServerMeshIsComplete) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& ixp : s.topo().ixps) {
+    const auto& rs = ixp.route_server_participants;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      for (std::size_t j = i + 1; j < rs.size(); ++j) {
+        // Adjacent either through the route server (peer) or through a
+        // pre-existing business relationship (transit links are kept).
+        EXPECT_TRUE(s.topo().graph.adjacent(rs[i], rs[j]))
+            << s.topo().graph.info(rs[i]).name << " / "
+            << s.topo().graph.info(rs[j]).name;
+      }
+    }
+  }
+}
+
+TEST(Ixp, RouteServerLinksAreFlagged) {
+  auto& s = shared_tiny_scenario();
+  std::size_t rs_links = 0;
+  for (const auto& link : s.topo().graph.links()) {
+    if (link.via_route_server) {
+      ++rs_links;
+      EXPECT_EQ(link.a_to_b, Relation::kPeer);
+      ASSERT_EQ(link.facilities.size(), 1u);
+    }
+  }
+  EXPECT_GT(rs_links, 0u);
+}
+
+TEST(Ixp, RouteServerLinksMostlyInvisibleToCollectors) {
+  auto& s = shared_tiny_scenario();
+  const routing::Bgp bgp(s.topo().graph);
+  std::vector<Asn> feeders = s.topo().tier1s;
+  for (std::size_t i = 0; i < s.topo().transits.size() / 3; ++i) {
+    feeders.push_back(s.topo().transits[i]);
+  }
+  std::vector<Asn> dests;
+  for (const auto& as : s.topo().graph.ases()) dests.push_back(as.asn);
+  const auto view = routing::collect_public_view(bgp, feeders, dests);
+  std::size_t rs_total = 0, rs_seen = 0;
+  for (const auto& link : s.topo().graph.links()) {
+    if (!link.via_route_server) continue;
+    ++rs_total;
+    if (view.observed(link.a, link.b)) ++rs_seen;
+  }
+  ASSERT_GT(rs_total, 0u);
+  // [4]: more than 90% of the IXP's peerings were invisible.
+  EXPECT_LT(static_cast<double>(rs_seen) / static_cast<double>(rs_total),
+            0.35);
+}
+
+TEST(Ixp, DisabledByConfig) {
+  auto config = core::tiny_config(99);
+  config.topology.build_ixps = false;
+  Rng rng(config.seed);
+  const auto topo = generate_topology(config.topology, rng);
+  EXPECT_TRUE(topo.ixps.empty());
+  for (const auto& link : topo.graph.links()) {
+    EXPECT_FALSE(link.via_route_server);
+  }
+}
+
+}  // namespace
+}  // namespace itm::topology

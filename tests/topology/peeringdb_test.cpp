@@ -1,0 +1,112 @@
+#include "topology/peeringdb.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/generator.h"
+
+namespace itm::topology {
+namespace {
+
+TopologyConfig test_config() {
+  TopologyConfig c;
+  c.geography.num_countries = 4;
+  c.num_tier1 = 3;
+  c.num_transit = 10;
+  c.num_access = 30;
+  c.num_content = 10;
+  c.num_hypergiants = 2;
+  c.num_enterprise = 8;
+  return c;
+}
+
+class PeeringDbTest : public ::testing::Test {
+ protected:
+  PeeringDbTest() : rng_(3), topo_(generate_topology(test_config(), rng_)) {
+    db_ = PeeringDb::build(topo_.graph, PeeringDbConfig{}, rng_);
+  }
+  Rng rng_;
+  Topology topo_;
+  PeeringDb db_;
+};
+
+TEST_F(PeeringDbTest, HypergiantsAlwaysRegistered) {
+  for (const Asn h : topo_.hypergiants) {
+    EXPECT_NE(db_.lookup(h), nullptr);
+  }
+}
+
+TEST_F(PeeringDbTest, CoverageIsPartial) {
+  EXPECT_GT(db_.records().size(), 0u);
+  EXPECT_LT(db_.records().size(), topo_.graph.size());
+}
+
+TEST_F(PeeringDbTest, DeclaredFacilitiesAreSubsetOfActual) {
+  for (const auto& rec : db_.records()) {
+    const auto& actual = topo_.graph.info(rec.asn).facilities;
+    for (const auto f : rec.facilities) {
+      EXPECT_NE(std::find(actual.begin(), actual.end(), f), actual.end());
+    }
+  }
+}
+
+TEST_F(PeeringDbTest, TrafficLevelCorrelatesWithSize) {
+  // Networks with size > 2 should rarely declare a lower traffic level than
+  // networks with size < 0.3; check means.
+  double big_sum = 0, small_sum = 0;
+  int big_n = 0, small_n = 0;
+  for (const auto& rec : db_.records()) {
+    const double size = topo_.graph.info(rec.asn).size_factor;
+    if (size > 2.0) {
+      big_sum += rec.traffic_level;
+      ++big_n;
+    } else if (size < 0.3) {
+      small_sum += rec.traffic_level;
+      ++small_n;
+    }
+  }
+  if (big_n > 0 && small_n > 0) {
+    EXPECT_GT(big_sum / big_n, small_sum / small_n);
+  }
+}
+
+TEST_F(PeeringDbTest, MembersOfFacility) {
+  // Every record's declared facilities must list it as a member.
+  for (const auto& rec : db_.records()) {
+    for (const auto f : rec.facilities) {
+      const auto members = db_.members_of(f);
+      EXPECT_NE(std::find(members.begin(), members.end(), rec.asn),
+                members.end());
+    }
+  }
+}
+
+TEST_F(PeeringDbTest, LookupUnregisteredReturnsNull) {
+  // Find an AS without a record (coverage is partial so one must exist).
+  bool found = false;
+  for (const auto& as : topo_.graph.ases()) {
+    if (db_.lookup(as.asn) == nullptr) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PeeringDbConfigTest, ZeroRegistrationGivesEmptyDb) {
+  Rng rng(4);
+  auto topo = generate_topology(test_config(), rng);
+  PeeringDbConfig config;
+  config.p_register_hypergiant = 0;
+  config.p_register_content = 0;
+  config.p_register_transit = 0;
+  config.p_register_access = 0;
+  config.p_register_tier1 = 0;
+  config.p_register_enterprise = 0;
+  const auto db = PeeringDb::build(topo.graph, config, rng);
+  EXPECT_TRUE(db.records().empty());
+}
+
+}  // namespace
+}  // namespace itm::topology

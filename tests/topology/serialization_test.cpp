@@ -1,0 +1,129 @@
+#include "topology/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_scenario.h"
+#include "routing/bgp.h"
+
+namespace itm::topology {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(AsRelSerialization, RoundTripPreservesStructure) {
+  auto& s = shared_tiny_scenario();
+  const auto& original = s.topo().graph;
+
+  std::stringstream stream;
+  write_as_rel(original, stream);
+
+  AsGraph loaded;
+  const auto error = read_as_rel(stream, loaded);
+  ASSERT_FALSE(error.has_value()) << error->message;
+
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.links().size(), original.links().size());
+  // Densification preserved first-appearance order == original order for a
+  // graph exported with dense ASNs... not guaranteed in general, so compare
+  // by name mapping.
+  std::unordered_map<std::string, Asn> by_name;
+  for (const auto& as : loaded.ases()) by_name.emplace(as.name, as.asn);
+  for (const auto& link : original.links()) {
+    const Asn la = by_name.at("AS" + std::to_string(link.a.value()));
+    const Asn lb = by_name.at("AS" + std::to_string(link.b.value()));
+    const auto rel = loaded.relation(la, lb);
+    ASSERT_TRUE(rel.has_value());
+    if (link.a_to_b == Relation::kPeer) {
+      EXPECT_EQ(*rel, Relation::kPeer);
+    } else {
+      // a was the customer.
+      EXPECT_EQ(*rel, Relation::kProvider);
+    }
+  }
+}
+
+TEST(AsRelSerialization, RoutingAgreesAfterRoundTrip) {
+  auto& s = shared_tiny_scenario();
+  std::stringstream stream;
+  write_as_rel(s.topo().graph, stream);
+  AsGraph loaded;
+  ASSERT_FALSE(read_as_rel(stream, loaded).has_value());
+
+  // Same dense order (export emits internal numbers; first appearance
+  // follows link order) is NOT guaranteed, so compare reachable counts and
+  // hop histograms, which are label-invariant.
+  const routing::Bgp original_bgp(s.topo().graph);
+  const routing::Bgp loaded_bgp(loaded);
+  // Find the loaded Asn matching the original hypergiant by name.
+  const Asn hg = s.topo().hypergiants.front();
+  Asn loaded_hg{0};
+  for (const auto& as : loaded.ases()) {
+    if (as.name == "AS" + std::to_string(hg.value())) loaded_hg = as.asn;
+  }
+  const auto t1 = original_bgp.routes_to(hg);
+  const auto t2 = loaded_bgp.routes_to(loaded_hg);
+  std::size_t r1 = 0, r2 = 0;
+  double hops1 = 0, hops2 = 0;
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    if (t1.at(Asn(static_cast<std::uint32_t>(i))).reachable()) {
+      ++r1;
+      hops1 += t1.at(Asn(static_cast<std::uint32_t>(i))).hops;
+    }
+  }
+  for (std::size_t i = 0; i < t2.size(); ++i) {
+    if (t2.at(Asn(static_cast<std::uint32_t>(i))).reachable()) {
+      ++r2;
+      hops2 += t2.at(Asn(static_cast<std::uint32_t>(i))).hops;
+    }
+  }
+  EXPECT_EQ(r1, r2);
+  EXPECT_DOUBLE_EQ(hops1, hops2);
+}
+
+TEST(AsRelSerialization, ParsesRealWorldishFile) {
+  std::stringstream stream;
+  stream << "# comment line\n"
+         << "174|2914|0\n"      // two tier-1s peering
+         << "174|7922|-1\n"     // 174 provides 7922
+         << "2914|7922|-1\n"    // multihomed customer
+         << "7922|33651|-1\n"   // 7922 provides a stub
+         << "\n";               // blank lines tolerated
+  AsGraph graph;
+  ASSERT_FALSE(read_as_rel(stream, graph).has_value());
+  EXPECT_EQ(graph.size(), 4u);
+  EXPECT_EQ(graph.links().size(), 4u);
+  // AS names carry original numbers.
+  bool found = false;
+  for (const auto& as : graph.ases()) {
+    if (as.name == "AS33651") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AsRelSerialization, RejectsMalformedInput) {
+  const auto expect_error = [](const char* text, std::size_t line) {
+    std::stringstream stream(text);
+    AsGraph graph;
+    const auto error = read_as_rel(stream, graph);
+    ASSERT_TRUE(error.has_value()) << text;
+    EXPECT_EQ(error->line, line);
+  };
+  expect_error("174\n", 1);
+  expect_error("174|x|0\n", 1);
+  expect_error("174|2914|7\n", 1);
+  expect_error("174|174|0\n", 1);
+  expect_error("1|2|0\n3|3|0\n", 2);
+}
+
+TEST(AsRelSerialization, DuplicateLinesKeepFirst) {
+  std::stringstream stream;
+  stream << "1|2|0\n1|2|0\n2|1|0\n";
+  AsGraph graph;
+  ASSERT_FALSE(read_as_rel(stream, graph).has_value());
+  EXPECT_EQ(graph.links().size(), 1u);
+}
+
+}  // namespace
+}  // namespace itm::topology

@@ -1,0 +1,164 @@
+#include "traffic/demand.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_scenario.h"
+#include "net/stats.h"
+
+namespace itm::traffic {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(TrafficMatrix, TotalEqualsActivityTimesScale) {
+  auto& s = shared_tiny_scenario();
+  // Popularity sums to 1, so total bytes = total activity x scale.
+  EXPECT_NEAR(s.matrix().total_bytes(),
+              s.users().total_activity() * s.config().demand.bytes_scale,
+              s.matrix().total_bytes() * 1e-9);
+}
+
+TEST(TrafficMatrix, PerPrefixSumsToTotal) {
+  auto& s = shared_tiny_scenario();
+  const auto pb = s.matrix().prefix_bytes();
+  const double sum = std::accumulate(pb.begin(), pb.end(), 0.0);
+  EXPECT_NEAR(sum, s.matrix().total_bytes(), s.matrix().total_bytes() * 1e-9);
+}
+
+TEST(TrafficMatrix, PerServiceSumsToTotal) {
+  auto& s = shared_tiny_scenario();
+  double sum = 0;
+  for (const auto& svc : s.catalog().services()) {
+    sum += s.matrix().service_bytes(svc.id);
+  }
+  EXPECT_NEAR(sum, s.matrix().total_bytes(), s.matrix().total_bytes() * 1e-9);
+}
+
+TEST(TrafficMatrix, HypergiantBytesMatchServiceSums) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& hg : s.deployment().hypergiants()) {
+    double expected = 0;
+    for (const auto& svc : s.catalog().services()) {
+      if (svc.hypergiant == hg.id) expected += s.matrix().service_bytes(svc.id);
+    }
+    EXPECT_NEAR(s.matrix().hypergiant_bytes(hg.id), expected,
+                expected * 1e-9 + 1e-6);
+  }
+}
+
+TEST(TrafficMatrix, HypergiantsCarryConfiguredShare) {
+  auto& s = shared_tiny_scenario();
+  double hg_bytes = 0;
+  for (const auto& hg : s.deployment().hypergiants()) {
+    hg_bytes += s.matrix().hypergiant_bytes(hg.id);
+  }
+  EXPECT_NEAR(hg_bytes / s.matrix().total_bytes(),
+              s.config().services.hypergiant_traffic_share, 1e-6);
+}
+
+TEST(TrafficMatrix, PrefixHypergiantDecomposition) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& hg : s.deployment().hypergiants()) {
+    double sum = 0;
+    for (std::size_t pi = 0; pi < s.users().size(); ++pi) {
+      sum += s.matrix().prefix_hypergiant_bytes(pi, hg.id);
+    }
+    EXPECT_NEAR(sum, s.matrix().hypergiant_bytes(hg.id),
+                sum * 1e-9 + 1e-6);
+  }
+}
+
+TEST(TrafficMatrix, AsClientBytesMatchPrefixSums) {
+  auto& s = shared_tiny_scenario();
+  const auto prefixes = s.users().all();
+  const auto pb = s.matrix().prefix_bytes();
+  std::vector<double> per_as(s.topo().graph.size(), 0.0);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    per_as[prefixes[i].asn.value()] += pb[i];
+  }
+  for (const Asn a : s.topo().accesses) {
+    EXPECT_NEAR(per_as[a.value()], s.matrix().as_client_bytes(a),
+                per_as[a.value()] * 1e-9 + 1e-6);
+  }
+}
+
+TEST(TrafficMatrix, AsServiceBytesDecomposeAsClientBytes) {
+  auto& s = shared_tiny_scenario();
+  const Asn a = s.topo().accesses.front();
+  double sum = 0;
+  for (const auto& svc : s.catalog().services()) {
+    sum += s.matrix().as_service_bytes(a, svc.id);
+  }
+  EXPECT_NEAR(sum, s.matrix().as_client_bytes(a), sum * 1e-9 + 1e-6);
+}
+
+TEST(TrafficMatrix, OffnetBytesOnlyForOffnetHypergiants) {
+  auto& s = shared_tiny_scenario();
+  bool some_offnet_bytes = false;
+  for (const auto& hg : s.deployment().hypergiants()) {
+    if (hg.offnet_hit_ratio > 0) {
+      some_offnet_bytes |= s.matrix().offnet_bytes(hg.id) > 0;
+    } else {
+      EXPECT_DOUBLE_EQ(s.matrix().offnet_bytes(hg.id), 0.0);
+    }
+  }
+  EXPECT_TRUE(some_offnet_bytes);
+}
+
+TEST(TrafficMatrix, HopHistogramCoversAllBytes) {
+  auto& s = shared_tiny_scenario();
+  const auto hist = s.matrix().bytes_by_hops();
+  const double sum = std::accumulate(hist.begin(), hist.end(), 0.0);
+  // All client ASes can reach all servers in a generated topology.
+  EXPECT_NEAR(sum, s.matrix().total_bytes(), s.matrix().total_bytes() * 1e-6);
+  // Flattening: one-hop (direct peering/transit) plus zero-hop (off-net)
+  // dominate; long paths are rare.
+  const double short_share = (hist[0] + hist[1] + hist[2]) / sum;
+  EXPECT_GT(short_share, 0.6);
+}
+
+TEST(TrafficMatrix, LinkBytesConservation) {
+  auto& s = shared_tiny_scenario();
+  const auto link_bytes = s.matrix().link_bytes();
+  ASSERT_EQ(link_bytes.size(), s.topo().graph.links().size());
+  const double on_links =
+      std::accumulate(link_bytes.begin(), link_bytes.end(), 0.0);
+  // Every byte traverses hops(bytes) links; totals must match the
+  // hop-weighted sum.
+  const auto hist = s.matrix().bytes_by_hops();
+  double expected = 0;
+  for (std::size_t h = 0; h < hist.size(); ++h) {
+    expected += static_cast<double>(h) * hist[h];
+  }
+  EXPECT_NEAR(on_links, expected, expected * 1e-6 + 1e-6);
+}
+
+TEST(TrafficMatrix, PopBytesLandOnServingPops) {
+  auto& s = shared_tiny_scenario();
+  const auto pop_bytes = s.matrix().pop_bytes();
+  double on_pops = std::accumulate(pop_bytes.begin(), pop_bytes.end(), 0.0);
+  // All hypergiant bytes land on pops; single-site bytes do not.
+  double hg_total = 0;
+  for (const auto& hg : s.deployment().hypergiants()) {
+    hg_total += s.matrix().hypergiant_bytes(hg.id);
+  }
+  EXPECT_NEAR(on_pops, hg_total, hg_total * 1e-6);
+}
+
+TEST(TrafficMatrix, ActivityDrivesPrefixBytes) {
+  auto& s = shared_tiny_scenario();
+  const auto prefixes = s.users().all();
+  const auto pb = s.matrix().prefix_bytes();
+  std::vector<double> activity;
+  std::vector<double> bytes;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    activity.push_back(prefixes[i].activity);
+    bytes.push_back(pb[i]);
+  }
+  EXPECT_GT(pearson(activity, bytes), 0.999);
+}
+
+}  // namespace
+}  // namespace itm::traffic

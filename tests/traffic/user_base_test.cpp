@@ -1,0 +1,106 @@
+#include "traffic/user_base.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_scenario.h"
+#include "net/stats.h"
+
+namespace itm::traffic {
+namespace {
+
+using itm::testing::shared_tiny_scenario;
+
+TEST(UserBase, OnePrefixRecordPerUserSlash24) {
+  auto& s = shared_tiny_scenario();
+  std::size_t expected = 0;
+  for (const auto& a : s.topo().addresses.all()) expected += a.user_slash24s;
+  EXPECT_EQ(s.users().size(), expected);
+}
+
+TEST(UserBase, FindByExactPrefix) {
+  auto& s = shared_tiny_scenario();
+  const auto& first = s.users().all().front();
+  const auto* found = s.users().find(first.prefix);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->prefix, first.prefix);
+  // A non-user prefix returns nullptr.
+  const auto infra = s.topo().addresses.of(s.topo().accesses.front())
+                         .infra_slash24;
+  EXPECT_EQ(s.users().find(infra), nullptr);
+}
+
+TEST(UserBase, TotalsMatchPerPrefixSums) {
+  auto& s = shared_tiny_scenario();
+  double users = 0, activity = 0;
+  for (const auto& up : s.users().all()) {
+    users += up.users;
+    activity += up.activity;
+  }
+  EXPECT_NEAR(users, s.users().total_users(), 1e-6);
+  EXPECT_NEAR(activity, s.users().total_activity(), 1e-6);
+}
+
+TEST(UserBase, PerAsAggregatesConsistent) {
+  auto& s = shared_tiny_scenario();
+  for (const Asn asn : s.topo().accesses) {
+    double users = 0;
+    for (const auto& up : s.users().all()) {
+      if (up.asn == asn) users += up.users;
+    }
+    EXPECT_NEAR(users, s.users().as_users(asn), 1e-6);
+    EXPECT_GT(s.users().as_users(asn), 0.0);
+  }
+  // Non-access ASes host no users.
+  EXPECT_DOUBLE_EQ(s.users().as_users(s.topo().tier1s.front()), 0.0);
+}
+
+TEST(UserBase, CitiesBelongToTheAsPresence) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& up : s.users().all()) {
+    const auto& presence = s.topo().graph.info(up.asn).presence_cities;
+    EXPECT_NE(std::find(presence.begin(), presence.end(), up.city),
+              presence.end());
+  }
+}
+
+TEST(UserBase, BehavioralSharesInRange) {
+  auto& s = shared_tiny_scenario();
+  for (const auto& up : s.users().all()) {
+    EXPECT_GE(up.public_dns_share, 0.0);
+    EXPECT_LE(up.public_dns_share, 0.95);
+    EXPECT_GE(up.chromium_share, 0.2);
+    EXPECT_LE(up.chromium_share, 0.95);
+    EXPECT_GT(up.users, 0.0);
+    EXPECT_GT(up.activity, 0.0);
+  }
+}
+
+TEST(UserBase, PublicDnsAdoptionVariesByCountry) {
+  auto& s = shared_tiny_scenario();
+  const auto& countries = s.topo().geography.countries();
+  double lo = 1.0, hi = 0.0;
+  for (const auto& c : countries) {
+    const double adoption = s.users().country_public_dns(c.id);
+    lo = std::min(lo, adoption);
+    hi = std::max(hi, adoption);
+    EXPECT_GE(adoption, 0.05);
+    EXPECT_LE(adoption, 0.8);
+  }
+  EXPECT_GT(hi - lo, 0.01);  // some cross-country variation
+}
+
+TEST(UserBase, SizeFactorDrivesAsUserCounts) {
+  auto& s = shared_tiny_scenario();
+  // Spearman between size_factor and as_users should be strongly positive.
+  std::vector<double> size, users;
+  for (const Asn a : s.topo().accesses) {
+    size.push_back(s.topo().graph.info(a).size_factor);
+    users.push_back(s.users().as_users(a));
+  }
+  EXPECT_GT(spearman(size, users), 0.7);
+}
+
+}  // namespace
+}  // namespace itm::traffic

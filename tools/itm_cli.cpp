@@ -1,0 +1,322 @@
+// itm — command-line front end to the Internet-traffic-map toolkit.
+//
+//   itm generate [--seed N] [--scale tiny|default|large]
+//       Generate a synthetic Internet and print its inventory.
+//   itm map [--seed N] [--scale S] [--json FILE] [--csv PREFIX]
+//       Build the traffic map from public-data measurements; optionally
+//       export JSON and/or CSV artifacts.
+//   itm outage <as-name> [--seed N] [--scale S]
+//       Map-based outage estimate plus ground-truth what-if simulation.
+//   itm path <src-as> <dst-as> [--seed N] [--scale S]
+//       BGP best path and traceroute between two ASes.
+//   itm top [--seed N] [--scale S]
+//       Service and hypergiant traffic leaderboard (ground truth).
+//   itm rel-export <file> [--seed N] [--scale S]
+//       Write the AS graph in CAIDA as-rel format.
+//   itm rel-path <file> <asn-a> <asn-b>
+//       Load an external as-rel file (e.g. CAIDA serial-1) and print the
+//       Gao-Rexford best path between two ASNs.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/export.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "core/traffic_map.h"
+#include "core/whatif.h"
+#include "topology/serialization.h"
+#include "routing/bgp.h"
+#include "scan/traceroute.h"
+
+namespace {
+
+using namespace itm;
+
+struct CliOptions {
+  std::uint64_t seed = 42;
+  std::string scale = "default";
+  std::optional<std::string> json_path;
+  std::optional<std::string> csv_prefix;
+  std::vector<std::string> positional;
+};
+
+CliOptions parse(int argc, char** argv, int first) {
+  CliOptions options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--scale") {
+      options.scale = next();
+    } else if (arg == "--json") {
+      options.json_path = next();
+    } else if (arg == "--csv") {
+      options.csv_prefix = next();
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+std::unique_ptr<core::Scenario> make_scenario(const CliOptions& options) {
+  core::ScenarioConfig config;
+  if (options.scale == "tiny") config = core::tiny_config(options.seed);
+  else if (options.scale == "large") config = core::large_config(options.seed);
+  else config = core::default_config(options.seed);
+  return core::Scenario::generate(config);
+}
+
+std::optional<Asn> find_as(const core::Scenario& scenario,
+                           const std::string& name) {
+  for (const auto& as : scenario.topo().graph.ases()) {
+    if (as.name == name) return as.asn;
+  }
+  return std::nullopt;
+}
+
+int cmd_generate(const CliOptions& options) {
+  auto scenario = make_scenario(options);
+  const auto& topo = scenario->topo();
+  core::Table table({"inventory", "count"});
+  table.row("ASes", topo.graph.size());
+  table.row("  tier-1", topo.tier1s.size());
+  table.row("  transit", topo.transits.size());
+  table.row("  access (eyeball)", topo.accesses.size());
+  table.row("  content", topo.contents.size());
+  table.row("  hypergiant", topo.hypergiants.size());
+  table.row("AS-level links", topo.graph.links().size());
+  table.row("countries", topo.geography.countries().size());
+  table.row("colocation facilities", topo.geography.facilities().size());
+  table.row("IXPs (route servers)", topo.ixps.size());
+  table.row("routable /24s", topo.addresses.total_slash24_count());
+  table.row("user /24s", scenario->users().size());
+  table.row("services", scenario->catalog().size());
+  table.row("CDN PoPs", scenario->deployment().pops().size());
+  table.row("CDN front ends", scenario->deployment().front_ends().size());
+  table.print();
+  std::cout << "total users: "
+            << static_cast<std::uint64_t>(scenario->users().total_users())
+            << ", daily traffic: "
+            << core::num(scenario->matrix().total_bytes() / 1e12, 2)
+            << " TB\n";
+  return 0;
+}
+
+int cmd_map(const CliOptions& options) {
+  auto scenario = make_scenario(options);
+  core::MapBuilder builder(*scenario);
+  std::cerr << "building the traffic map...\n";
+  const auto map = builder.build();
+  core::Table table({"map component", "value"});
+  table.row("client /24s detected", map.client_prefixes.size());
+  table.row("client ASes", map.client_ases.size());
+  table.row("TLS endpoints", map.tls.endpoints.size());
+  table.row("geolocated servers", map.server_locations.size());
+  table.row("ECS-mapped services", map.user_mapping.size());
+  table.row("observed links", map.public_view.link_count());
+  table.row("recommended links", map.recommended_links.size());
+  table.print();
+  if (options.json_path) {
+    std::ofstream out(*options.json_path);
+    core::export_map_json(map, *scenario, out);
+    std::cout << "wrote " << *options.json_path << "\n";
+  }
+  if (options.csv_prefix) {
+    const auto write = [&](const char* suffix, auto exporter) {
+      const std::string path = *options.csv_prefix + suffix;
+      std::ofstream out(path);
+      exporter(map, *scenario, out);
+      std::cout << "wrote " << path << "\n";
+    };
+    write("_activity.csv", core::export_activity_csv);
+    write("_servers.csv", core::export_servers_csv);
+    write("_links.csv", core::export_recommended_links_csv);
+  }
+  return 0;
+}
+
+int cmd_outage(const CliOptions& options) {
+  if (options.positional.empty()) {
+    std::cerr << "usage: itm outage <as-name>\n";
+    return 2;
+  }
+  auto scenario = make_scenario(options);
+  const auto failed = find_as(*scenario, options.positional[0]);
+  if (!failed) {
+    std::cerr << "unknown AS '" << options.positional[0] << "'\n";
+    return 2;
+  }
+  if (scenario->topo().graph.info(*failed).type ==
+      topology::AsType::kHypergiant) {
+    std::cerr << "cannot simulate failing a hypergiant (its services would "
+                 "have no serving sites)\n";
+    return 2;
+  }
+  core::MapBuilder builder(*scenario);
+  std::cerr << "building the traffic map...\n";
+  const auto map = builder.build();
+  const auto estimate = map.outage_impact(*failed, scenario->topo().addresses);
+  const auto truth = core::simulate_as_failure(*scenario, *failed);
+
+  core::Table table({"metric", "map estimate", "ground truth"});
+  table.row("activity/traffic share affected",
+            core::pct(estimate.activity_share),
+            core::pct(truth.client_bytes_lost + truth.service_bytes_lost));
+  table.row("client /24s inside", estimate.client_prefixes, "-");
+  table.row("CDN servers inside", estimate.servers_inside, "-");
+  table.row("link load shifted", "-", core::pct(truth.link_load_shifted));
+  table.print();
+  const auto top = truth.top_gaining_links(scenario->topo().graph, 5);
+  if (!top.empty()) {
+    std::cout << "links absorbing the shift:\n";
+    for (const auto& shift : top) {
+      std::cout << "  " << scenario->topo().graph.info(shift.a).name
+                << " -- " << scenario->topo().graph.info(shift.b).name
+                << "  +" << core::num(shift.delta_bytes / 1e9, 1) << " GB\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_path(const CliOptions& options) {
+  if (options.positional.size() < 2) {
+    std::cerr << "usage: itm path <src-as> <dst-as>\n";
+    return 2;
+  }
+  auto scenario = make_scenario(options);
+  const auto src = find_as(*scenario, options.positional[0]);
+  const auto dst = find_as(*scenario, options.positional[1]);
+  if (!src || !dst) {
+    std::cerr << "unknown AS name\n";
+    return 2;
+  }
+  const routing::Bgp bgp(scenario->topo().graph);
+  const auto table = bgp.routes_to(*dst);
+  if (!table.at(*src).reachable()) {
+    std::cout << "no route\n";
+    return 0;
+  }
+  std::cout << "AS path:";
+  for (const Asn hop : table.path_from(*src)) {
+    std::cout << " " << scenario->topo().graph.info(hop).name;
+  }
+  std::cout << "\n\ntraceroute:\n";
+  const scan::Traceroute tracer(scenario->topo(), scenario->routers());
+  const auto dst_addr =
+      scenario->topo().addresses.of(*dst).infra_slash24.address_at(1);
+  core::Table hops({"hop", "AS", "interface", "rtt ms"});
+  std::size_t n = 1;
+  for (const auto& hop : tracer.trace(*src, dst_addr)) {
+    hops.row(n++, scenario->topo().graph.info(hop.asn).name,
+             hop.interface.to_string(), core::num(hop.rtt_ms, 1));
+  }
+  hops.print();
+  return 0;
+}
+
+int cmd_top(const CliOptions& options) {
+  auto scenario = make_scenario(options);
+  core::Table services({"rank", "service", "host", "mechanism", "share"});
+  const auto ranked = scenario->catalog().by_popularity();
+  for (std::size_t i = 0; i < 15 && i < ranked.size(); ++i) {
+    const auto& svc = scenario->catalog().service(ranked[i]);
+    const std::string host =
+        svc.hypergiant
+            ? scenario->deployment().hypergiant(*svc.hypergiant).name
+            : scenario->topo().graph.info(svc.origin_as).name;
+    services.row(i + 1, svc.hostname, host, cdn::to_string(svc.redirection),
+                 core::pct(scenario->matrix().service_bytes(svc.id) /
+                           scenario->matrix().total_bytes()));
+  }
+  services.print();
+  return 0;
+}
+
+int cmd_rel_export(const CliOptions& options) {
+  if (options.positional.empty()) {
+    std::cerr << "usage: itm rel-export <file>\n";
+    return 2;
+  }
+  auto scenario = make_scenario(options);
+  std::ofstream out(options.positional[0]);
+  topology::write_as_rel(scenario->topo().graph, out);
+  std::cout << "wrote " << scenario->topo().graph.links().size()
+            << " links to " << options.positional[0] << "\n";
+  return 0;
+}
+
+int cmd_rel_path(const CliOptions& options) {
+  if (options.positional.size() < 3) {
+    std::cerr << "usage: itm rel-path <file> <asn-a> <asn-b>\n";
+    return 2;
+  }
+  std::ifstream in(options.positional[0]);
+  if (!in) {
+    std::cerr << "cannot open " << options.positional[0] << "\n";
+    return 2;
+  }
+  topology::AsGraph graph;
+  if (const auto error = topology::read_as_rel(in, graph)) {
+    std::cerr << options.positional[0] << ":" << error->line << ": "
+              << error->message << "\n";
+    return 2;
+  }
+  const auto resolve = [&](const std::string& asn) -> std::optional<Asn> {
+    for (const auto& as : graph.ases()) {
+      if (as.name == "AS" + asn || as.name == asn) return as.asn;
+    }
+    return std::nullopt;
+  };
+  const auto src = resolve(options.positional[1]);
+  const auto dst = resolve(options.positional[2]);
+  if (!src || !dst) {
+    std::cerr << "ASN not present in the file\n";
+    return 2;
+  }
+  std::cout << "loaded " << graph.size() << " ASes, "
+            << graph.links().size() << " links\n";
+  const routing::Bgp bgp(graph);
+  const auto table = bgp.routes_to(*dst);
+  if (!table.at(*src).reachable()) {
+    std::cout << "no valley-free route\n";
+    return 0;
+  }
+  std::cout << "best path:";
+  for (const Asn hop : table.path_from(*src)) {
+    std::cout << " " << graph.info(hop).name;
+  }
+  std::cout << " (" << routing::to_string(table.at(*src).source)
+            << "-learned, " << table.at(*src).hops << " hops)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: itm <generate|map|outage|path|top> [options]\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const CliOptions options = parse(argc, argv, 2);
+  if (command == "generate") return cmd_generate(options);
+  if (command == "map") return cmd_map(options);
+  if (command == "outage") return cmd_outage(options);
+  if (command == "path") return cmd_path(options);
+  if (command == "top") return cmd_top(options);
+  if (command == "rel-export") return cmd_rel_export(options);
+  if (command == "rel-path") return cmd_rel_path(options);
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}

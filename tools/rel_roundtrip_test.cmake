@@ -1,0 +1,15 @@
+# Exports the tiny topology in as-rel format and routes over the reloaded
+# file; any non-zero exit fails the test.
+execute_process(COMMAND ${ITM_BIN} rel-export ${WORK_DIR}/tiny.rel --scale tiny
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "rel-export failed")
+endif()
+execute_process(COMMAND ${ITM_BIN} rel-path ${WORK_DIR}/tiny.rel 5 60
+                RESULT_VARIABLE rc2 OUTPUT_VARIABLE out)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "rel-path failed: ${out}")
+endif()
+if(NOT out MATCHES "best path|no valley-free route")
+  message(FATAL_ERROR "unexpected rel-path output: ${out}")
+endif()
