@@ -6,6 +6,7 @@
 // scale); pass `<seed> [tiny|default|large]` to vary.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -16,10 +17,46 @@
 #include "core/scenario.h"
 #include "core/traffic_map.h"
 #include "core/workload.h"
+#include "net/executor.h"
 #include "scan/cache_prober.h"
 #include "scan/root_crawler.h"
 
 namespace itm::bench {
+
+// Wall-clock stopwatch for per-stage timing and speedup reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Prints "<stage>: serial 1.23 s, 4 threads 0.41 s (3.0x)" to stderr.
+inline void report_speedup(const char* stage, double serial_s,
+                           double parallel_s, std::size_t threads) {
+  std::cerr << "[bench] " << stage << ": serial " << core::num(serial_s, 3)
+            << " s, " << threads << " threads " << core::num(parallel_s, 3)
+            << " s (" << core::num(parallel_s > 0 ? serial_s / parallel_s : 0,
+                                   2)
+            << "x)\n";
+}
+
+// Prints the per-stage wall times of a finished map build.
+inline void report_stage_timings(const core::MapBuildTimings& t) {
+  std::cerr << "[bench] stage wall time: probing "
+            << core::num(t.workload_probe_s, 2) << " s, tls "
+            << core::num(t.tls_scan_s, 2) << " s, ecs "
+            << core::num(t.ecs_map_s, 2) << " s, routing "
+            << core::num(t.routing_s, 2) << " s, inference "
+            << core::num(t.inference_s, 2) << " s\n";
+}
 
 inline core::ScenarioConfig config_from_args(int argc, char** argv) {
   const std::uint64_t seed =
@@ -50,11 +87,12 @@ struct MeasurementDay {
 inline MeasurementDay run_measurement_day(
     core::Scenario& scenario, std::size_t probe_rounds = 16,
     scan::CacheProbeConfig probe_config = {},
-    core::WorkloadConfig workload_config = {}) {
+    core::WorkloadConfig workload_config = {},
+    net::Executor* executor = nullptr) {
   core::Workload workload(scenario, workload_config,
                           scenario.config().seed ^ 0xda7);
   auto prober = std::make_unique<scan::CacheProber>(
-      scenario.dns(), scenario.catalog(), probe_config);
+      scenario.dns(), scenario.catalog(), probe_config, nullptr, executor);
   const auto routable = scenario.topo().addresses.routable_slash24s();
   for (std::size_t round = 0; round < probe_rounds; ++round) {
     const SimTime at =

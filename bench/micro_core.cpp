@@ -1,14 +1,21 @@
 // MICRO — google-benchmark microbenchmarks for the hot data structures and
 // algorithms: prefix-trie longest-prefix match, BGP route propagation,
 // DNS cache probing, anycast catchment computation, and traffic-matrix
-// assembly. These bound how far the scenario scale can be pushed.
+// assembly, plus the sharded-parallel variants of the hottest pipeline
+// stages (BGP public-view collection, TLS sweep, cache-probe sweep) at 1,
+// 2 and 4 threads. Per-thread-count timings make the speedup directly
+// readable from the report; the parallel stages produce bit-identical
+// output at every thread count, so these benches measure wall clock only.
 #include <benchmark/benchmark.h>
 
 #include "core/scenario.h"
 #include "core/workload.h"
+#include "net/executor.h"
 #include "net/prefix_trie.h"
 #include "routing/bgp.h"
+#include "routing/public_view.h"
 #include "scan/cache_prober.h"
+#include "scan/tls_scanner.h"
 
 namespace {
 
@@ -66,6 +73,57 @@ void BM_BgpAnycastPropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BgpAnycastPropagation);
+
+// Sharded BGP propagation feeding route collectors (MapBuilder stage 3),
+// over a slice of destinations so one iteration stays sub-second. Arg is
+// the thread count: compare Arg(1) vs Arg(4) wall time for the speedup.
+void BM_BgpPublicViewThreads(benchmark::State& state) {
+  const auto& topo = scenario().topo();
+  const routing::Bgp bgp(topo.graph);
+  net::Executor executor(static_cast<std::size_t>(state.range(0)));
+  std::vector<Asn> destinations;
+  for (const auto& as : topo.graph.ases()) {
+    destinations.push_back(as.asn);
+    if (destinations.size() >= 256) break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::collect_public_view(
+        bgp, topo.tier1s, destinations, executor));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(destinations.size()));
+}
+BENCHMARK(BM_BgpPublicViewThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Sharded full-address-space TLS sweep (MapBuilder stage 2).
+void BM_TlsSweepThreads(benchmark::State& state) {
+  auto& s = scenario();
+  net::Executor executor(static_cast<std::size_t>(state.range(0)));
+  const scan::TlsScanner scanner(s.tls(), s.topo().addresses);
+  std::vector<std::string> names;
+  for (const auto& hg : s.deployment().hypergiants()) names.push_back(hg.name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.sweep(names, executor));
+  }
+}
+BENCHMARK(BM_TlsSweepThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Sharded ECS cache-probe sweep over every routable /24 (MapBuilder
+// stage 1). Probing reads cold caches here — the per-probe cost is the
+// same; only hit bookkeeping differs.
+void BM_CacheProbeSweepThreads(benchmark::State& state) {
+  auto& s = scenario();
+  net::Executor executor(static_cast<std::size_t>(state.range(0)));
+  const auto routable = s.topo().addresses.routable_slash24s();
+  for (auto _ : state) {
+    scan::CacheProber prober(s.dns(), s.catalog(), {}, nullptr, &executor);
+    prober.sweep(routable, 1000);
+    benchmark::DoNotOptimize(prober.total_probes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(routable.size()));
+}
+BENCHMARK(BM_CacheProbeSweepThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_DnsResolve(benchmark::State& state) {
   auto& s = scenario();

@@ -1,7 +1,9 @@
 #include "core/traffic_map.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "net/executor.h"
 #include "scan/ecs_mapper.h"
 
 namespace itm::core {
@@ -46,11 +48,20 @@ OutageImpact TrafficMap::outage_impact(Asn failed,
 TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   Scenario& s = *scenario_;
   TrafficMap map;
+  timings_ = MapBuildTimings{};
+
+  // One pool for every sharded stage; threads=1 is the legacy serial path.
+  net::Executor executor(options.threads);
+  using Clock = std::chrono::steady_clock;
+  const auto stage_seconds = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+  auto stage_start = Clock::now();
 
   // ---- Drive a day of user behaviour, probing caches along the way.
   Workload workload(s, options.workload, s.config().seed ^ 0x17f);
   prober_ = std::make_unique<scan::CacheProber>(
-      s.dns(), s.catalog(), options.probing, &s.topo().addresses);
+      s.dns(), s.catalog(), options.probing, &s.topo().addresses, &executor);
   const auto routable = s.topo().addresses.routable_slash24s();
   for (std::size_t round = 0; round < options.probe_rounds; ++round) {
     const SimTime at = (2 * round + 1) * options.workload.duration /
@@ -59,6 +70,7 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
     prober_->sweep(routable, at);
   }
   workload.finish();
+  timings_.workload_probe_s = stage_seconds(stage_start);
 
   // ---- Component 1: users and activity.
   map.client_prefixes = prober_->detected_prefixes();
@@ -71,13 +83,16 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
       inference::activity_from_root_logs(crawl_));
 
   // ---- Component 2: services.
+  stage_start = Clock::now();
   std::vector<std::string> operator_names;
   for (const auto& hg : s.deployment().hypergiants()) {
     operator_names.push_back(hg.name);
   }
   const scan::TlsScanner tls_scanner(s.tls(), s.topo().addresses);
-  map.tls = tls_scanner.sweep(operator_names);
+  map.tls = tls_scanner.sweep(operator_names, executor);
+  timings_.tls_scan_s = stage_seconds(stage_start);
 
+  stage_start = Clock::now();
   const scan::EcsMapper ecs_mapper(s.dns().authoritative(),
                                    s.topo().geography.cities().front().id);
   std::size_t mapped = 0;
@@ -88,9 +103,11 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
         !service.supports_ecs) {
       continue;
     }
-    map.user_mapping.emplace(sid.value(), ecs_mapper.sweep(service, routable));
+    map.user_mapping.emplace(sid.value(),
+                             ecs_mapper.sweep(service, routable, executor));
     ++mapped;
   }
+  timings_.ecs_map_s = stage_seconds(stage_start);
   std::vector<const std::unordered_map<Ipv4Prefix, Ipv4Addr>*> sweeps;
   sweeps.reserve(map.user_mapping.size());
   for (const auto& [sid, sweep] : map.user_mapping) {
@@ -107,6 +124,7 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   map.server_locations = inference::geolocate_servers(sweeps, locator);
 
   // ---- Component 3: routes.
+  stage_start = Clock::now();
   const routing::Bgp bgp(topo.graph);
   std::vector<Asn> feeders = topo.tier1s;
   const auto n_transit_feeders = static_cast<std::size_t>(
@@ -118,14 +136,18 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   std::vector<Asn> destinations;
   destinations.reserve(topo.graph.size());
   for (const auto& as : topo.graph.ases()) destinations.push_back(as.asn);
-  map.public_view = routing::collect_public_view(bgp, feeders, destinations);
+  map.public_view =
+      routing::collect_public_view(bgp, feeders, destinations, executor);
   map.observed_graph = routing::observed_subgraph(topo.graph, map.public_view);
+  timings_.routing_s = stage_seconds(stage_start);
 
+  stage_start = Clock::now();
   const inference::PeeringRecommender recommender(s.peeringdb(),
                                                   map.observed_graph);
   map.recommended_links = recommender.recommend(options.recommend_links);
   map.augmented_graph =
       inference::augment_graph(map.observed_graph, map.recommended_links);
+  timings_.inference_s = stage_seconds(stage_start);
   return map;
 }
 

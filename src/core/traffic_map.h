@@ -39,6 +39,24 @@ struct MapBuildOptions {
   std::size_t recommend_links = 400;
   // Fraction of transit ASes feeding route collectors.
   double collector_feeder_fraction = 0.15;
+  // Worker threads for the sharded stages (cache probing, TLS scan, ECS
+  // mapping, BGP propagation). 0 = hardware concurrency; 1 = the exact
+  // legacy serial path. Output is byte-identical for every value — threads
+  // only change wall-clock time (DESIGN.md decision #6).
+  std::size_t threads = 0;
+};
+
+// Wall-clock seconds spent in each pipeline stage of the last build.
+struct MapBuildTimings {
+  double workload_probe_s = 0.0;
+  double tls_scan_s = 0.0;
+  double ecs_map_s = 0.0;
+  double routing_s = 0.0;
+  double inference_s = 0.0;
+  [[nodiscard]] double total_s() const {
+    return workload_probe_s + tls_scan_s + ecs_map_s + routing_s +
+           inference_s;
+  }
 };
 
 struct OutageImpact {
@@ -93,11 +111,16 @@ class MapBuilder {
   [[nodiscard]] const scan::RootCrawlResult& last_crawl() const {
     return crawl_;
   }
+  // Per-stage wall time of the last build (for benches and the CLI).
+  [[nodiscard]] const MapBuildTimings& last_timings() const {
+    return timings_;
+  }
 
  private:
   Scenario* scenario_;
   std::unique_ptr<scan::CacheProber> prober_;
   scan::RootCrawlResult crawl_;
+  MapBuildTimings timings_;
 };
 
 }  // namespace itm::core

@@ -1,0 +1,160 @@
+#include "net/executor.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace itm::net {
+
+namespace {
+
+// Set while the current thread is executing a shard function; used to
+// reject nested parallel_for calls, which could deadlock the pool.
+thread_local bool tl_in_shard = false;
+
+}  // namespace
+
+struct Executor::Batch {
+  std::size_t n = 0;
+  std::size_t shard_count = 0;
+  const std::function<void(const Shard&)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  // One slot per shard; each written by exactly one thread.
+  std::vector<std::exception_ptr> errors;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+Executor::Executor(std::size_t threads)
+    : threads_(threads == 0 ? hardware_threads() : threads) {
+  workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
+  for (std::size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t Executor::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Executor& Executor::serial() {
+  static Executor instance(1);
+  return instance;
+}
+
+std::size_t Executor::shard_count_for(std::size_t n) {
+  constexpr std::size_t kMaxShards = 64;
+  return n < kMaxShards ? n : kMaxShards;
+}
+
+void Executor::run_shards(Batch& batch) {
+  for (;;) {
+    const std::size_t index = batch.next.fetch_add(1);
+    if (index >= batch.shard_count) return;
+    const std::size_t base = batch.n / batch.shard_count;
+    const std::size_t rem = batch.n % batch.shard_count;
+    Shard shard;
+    shard.index = index;
+    shard.count = batch.shard_count;
+    shard.begin = index * base + (index < rem ? index : rem);
+    shard.end = shard.begin + base + (index < rem ? 1 : 0);
+    tl_in_shard = true;
+    try {
+      (*batch.fn)(shard);
+    } catch (...) {
+      batch.errors[index] = std::current_exception();
+    }
+    tl_in_shard = false;
+    if (batch.completed.fetch_add(1) + 1 == batch.shard_count) {
+      const std::lock_guard lock(batch.done_mutex);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void Executor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      batch = batch_;
+      seen = generation_;
+    }
+    run_shards(*batch);
+  }
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(const Shard&)>& fn) {
+  if (tl_in_shard) {
+    throw std::logic_error(
+        "Executor::parallel_for: nested parallelism is not supported");
+  }
+  if (n == 0) return;
+  const std::size_t shard_count = shard_count_for(n);
+  if (threads_ == 1 || shard_count == 1) {
+    // Inline serial path: identical shard geometry, no pool involvement.
+    const std::size_t base = n / shard_count;
+    const std::size_t rem = n % shard_count;
+    for (std::size_t index = 0; index < shard_count; ++index) {
+      Shard shard;
+      shard.index = index;
+      shard.count = shard_count;
+      shard.begin = index * base + (index < rem ? index : rem);
+      shard.end = shard.begin + base + (index < rem ? 1 : 0);
+      tl_in_shard = true;
+      try {
+        fn(shard);
+      } catch (...) {
+        tl_in_shard = false;
+        throw;
+      }
+      tl_in_shard = false;
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->shard_count = shard_count;
+  batch->fn = &fn;
+  batch->errors.resize(shard_count);
+  {
+    const std::lock_guard lock(mutex_);
+    batch_ = batch;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The calling thread works alongside the pool.
+  run_shards(*batch);
+  {
+    std::unique_lock lock(batch->done_mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->completed.load() == batch->shard_count;
+    });
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    batch_.reset();
+  }
+  for (const auto& error : batch->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace itm::net

@@ -23,7 +23,23 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+namespace {
+
+// Bijective-ish mixer used to derive child seeds: SplitMix64 finalizer over
+// the (seed, label) combination. Pure integer arithmetic, so the derived
+// streams are identical on every platform.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t label) {
+  std::uint64_t z = seed ^ (label * 0xd1342543de82ef95ull +
+                            0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
   std::uint64_t sm = seed;
   for (auto& word : state_) word = splitmix64(sm);
   has_cached_normal_ = false;
@@ -33,6 +49,20 @@ Rng Rng::fork(std::uint64_t stream_id) {
   // Mix the stream id with fresh output so forks are independent.
   std::uint64_t mix = next_u64() ^ (0xd1342543de82ef95ull * (stream_id + 1));
   return Rng(mix);
+}
+
+Rng Rng::split(std::uint64_t label) const {
+  return Rng(mix_seed(seed_, label));
+}
+
+Rng Rng::split(std::string_view label) const {
+  // FNV-1a, 64-bit: simple, platform-stable string hash.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : label) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return split(hash);
 }
 
 std::uint64_t Rng::next_u64() {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cmath>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace itm {
@@ -24,7 +25,26 @@ class Rng {
 
   // Derives an independent child generator; use to give each subsystem its
   // own stream so that adding draws in one does not perturb another.
+  // fork() consumes parent state, so the child depends on how much the
+  // parent has already drawn; prefer split() when shards must be
+  // schedule-independent.
   [[nodiscard]] Rng fork(std::uint64_t stream_id);
+
+  // Derives an independent child stream as a pure function of this
+  // generator's construction seed and `label` — the result is identical no
+  // matter how much the parent (or any sibling) has been consumed, and
+  // stable across platforms (integer arithmetic only). This is the stream
+  // derivation parallel shards use: one split per work item makes results
+  // independent of shard boundaries, thread count and execution order.
+  // Splits nest: r.split(a).split(b) is itself stable.
+  [[nodiscard]] Rng split(std::uint64_t label) const;
+
+  // String-labelled stream (FNV-1a 64-bit hash of the label).
+  [[nodiscard]] Rng split(std::string_view label) const;
+
+  // The seed this generator was constructed/reseeded with (split() derives
+  // children from it, not from the evolving state).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   // Uniform over the full uint64 range.
   std::uint64_t next_u64();
@@ -77,6 +97,7 @@ class Rng {
 
  private:
   std::uint64_t state_[4] = {};
+  std::uint64_t seed_ = 0;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };

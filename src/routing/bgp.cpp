@@ -162,4 +162,17 @@ RouteTable Bgp::routes_to_set(std::span<const Asn> origins) const {
   return RouteTable(std::move(entries), std::move(origin_list));
 }
 
+void Bgp::routes_to_each(
+    std::span<const Asn> destinations, net::Executor& executor,
+    const std::function<void(const net::Executor::Shard&, std::size_t,
+                             const RouteTable&)>& fn) const {
+  executor.parallel_for(
+      destinations.size(), [this, destinations, &fn](
+                               const net::Executor::Shard& shard) {
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          fn(shard, i, routes_to(destinations[i]));
+        }
+      });
+}
+
 }  // namespace itm::routing

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "net/executor.h"
 #include "net/ids.h"
 #include "topology/as_graph.h"
 
@@ -82,6 +84,17 @@ class Bgp {
   // origins announcing the same prefix (anycast). Entries record which
   // origin index won.
   [[nodiscard]] RouteTable routes_to_set(std::span<const Asn> origins) const;
+
+  // One full propagation per destination, sharded across `executor`
+  // (parallel over origin ASes; each propagation is independent).
+  // `fn(shard, dest_index, table)` runs on worker threads: calls within a
+  // shard arrive in increasing dest_index order on one thread, so callers
+  // accumulate into per-shard state and merge in shard order — the merged
+  // result is then identical for every thread count.
+  void routes_to_each(
+      std::span<const Asn> destinations, net::Executor& executor,
+      const std::function<void(const net::Executor::Shard&, std::size_t,
+                               const RouteTable&)>& fn) const;
 
   [[nodiscard]] const topology::AsGraph& graph() const { return *graph_; }
 

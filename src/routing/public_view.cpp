@@ -27,18 +27,45 @@ double PublicView::peering_coverage(const AsGraph& graph) const {
                       : static_cast<double>(seen) / static_cast<double>(peering);
 }
 
+namespace {
+
+void add_feeder_paths(PublicView& view, const RouteTable& table,
+                      std::span<const Asn> feeders) {
+  for (const Asn feeder : feeders) {
+    const auto path = table.path_from(feeder);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      view.add_link(path[i], path[i + 1]);
+    }
+  }
+}
+
+}  // namespace
+
 PublicView collect_public_view(const Bgp& bgp, std::span<const Asn> feeders,
                                std::span<const Asn> destinations) {
   PublicView view;
   for (const Asn dest : destinations) {
-    const RouteTable table = bgp.routes_to(dest);
-    for (const Asn feeder : feeders) {
-      const auto path = table.path_from(feeder);
-      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        view.add_link(path[i], path[i + 1]);
-      }
-    }
+    add_feeder_paths(view, bgp.routes_to(dest), feeders);
   }
+  return view;
+}
+
+PublicView collect_public_view(const Bgp& bgp, std::span<const Asn> feeders,
+                               std::span<const Asn> destinations,
+                               net::Executor& executor) {
+  // One view per shard, merged in shard order. Membership in the view is a
+  // set union, so the merged content equals the serial result exactly.
+  const auto shard_views = executor.map_shards<PublicView>(
+      destinations.size(),
+      [&bgp, feeders, destinations](const net::Executor::Shard& shard) {
+        PublicView view;
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          add_feeder_paths(view, bgp.routes_to(destinations[i]), feeders);
+        }
+        return view;
+      });
+  PublicView view;
+  for (const auto& shard_view : shard_views) view.merge(shard_view);
   return view;
 }
 

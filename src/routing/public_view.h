@@ -43,10 +43,16 @@ class PublicView {
 };
 
 // Simulates collectors peering with `feeders`: every feeder contributes its
-// best path to every destination in `destinations`.
+// best path to every destination in `destinations`. When an executor is
+// given, propagation is sharded over destinations and per-shard views are
+// merged in shard order; the view is a set, so the result is identical to
+// the serial path for every thread count.
 [[nodiscard]] PublicView collect_public_view(
     const Bgp& bgp, std::span<const Asn> feeders,
     std::span<const Asn> destinations);
+[[nodiscard]] PublicView collect_public_view(
+    const Bgp& bgp, std::span<const Asn> feeders,
+    std::span<const Asn> destinations, net::Executor& executor);
 
 // A copy of the graph containing only observed links (all ASes retained,
 // true relationships assumed correctly inferred). This is the topology a

@@ -8,12 +8,14 @@ namespace itm::scan {
 CacheProber::CacheProber(const dns::DnsSystem& dns,
                          const cdn::ServiceCatalog& catalog,
                          const CacheProbeConfig& config,
-                         const topology::AddressPlan* plan)
+                         const topology::AddressPlan* plan,
+                         net::Executor* executor)
     : dns_(&dns),
       catalog_(&catalog),
       config_(config),
       plan_(plan),
-      loss_rng_(config.loss_seed) {
+      executor_(executor),
+      loss_root_(config.loss_seed) {
   assert(!config.record_sweeps || plan != nullptr);
   // A measurer would pick popular domains known to support ECS; popularity
   // rank is public knowledge (top lists).
@@ -27,40 +29,62 @@ CacheProber::CacheProber(const dns::DnsSystem& dns,
   }
 }
 
-void CacheProber::sweep(std::span<const Ipv4Prefix> prefixes, SimTime now) {
+CacheProber::PrefixOutcome CacheProber::probe_prefix(
+    const Ipv4Prefix& prefix, SimTime now, std::uint64_t sweep_index) const {
+  // Loss stream derived from (sweep, prefix): a pure function of the master
+  // seed, never shared between prefixes, so outcomes are independent of
+  // which shard (or thread) probes this prefix.
+  Rng loss = loss_root_.split((sweep_index << 32) ^ prefix.base().bits());
   const std::size_t pops = dns_->public_pops().size();
+  PrefixOutcome out;
+  for (std::size_t pop = 0; pop < pops; ++pop) {
+    bool pop_hit = false;
+    for (const ServiceId sid : probe_list_) {
+      ++out.probes;
+      if (config_.probe_loss > 0 && loss.bernoulli(config_.probe_loss)) {
+        continue;  // probe or response lost in flight
+      }
+      if (dns_->probe_cache(pop, catalog_->service(sid), prefix, now)) {
+        ++out.hits;
+        pop_hit = true;
+        if (config_.stop_after_first_hit) break;
+      }
+    }
+    if (pop_hit && pop < 64) out.pops_seen |= std::uint64_t{1} << pop;
+  }
+  return out;
+}
+
+void CacheProber::sweep(std::span<const Ipv4Prefix> prefixes, SimTime now) {
+  const std::uint64_t sweep_index = sweep_index_++;
   SweepRecord* record = nullptr;
   if (config_.record_sweeps) {
     sweep_records_.emplace_back();
     record = &sweep_records_.back();
     record->at = now;
   }
-  for (const Ipv4Prefix& prefix : prefixes) {
+  // Probing only reads DNS cache state; shard it over prefixes. Outcomes
+  // land in per-index slots and are merged below in prefix order, replaying
+  // the exact mutation sequence of the serial path.
+  net::Executor& executor = executor_ != nullptr ? *executor_
+                                                 : net::Executor::serial();
+  const auto outcomes = executor.parallel_map<PrefixOutcome>(
+      prefixes.size(), [this, prefixes, now, sweep_index](std::size_t i) {
+        return probe_prefix(prefixes[i], now, sweep_index);
+      });
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const Ipv4Prefix& prefix = prefixes[i];
+    const PrefixOutcome& outcome = outcomes[i];
     PrefixStats& stats = results_[prefix];
-    std::uint32_t prefix_hits = 0, prefix_probes = 0;
-    for (std::size_t pop = 0; pop < pops; ++pop) {
-      bool pop_hit = false;
-      for (const ServiceId sid : probe_list_) {
-        ++prefix_probes;
-        ++total_probes_;
-        if (config_.probe_loss > 0 && loss_rng_.bernoulli(config_.probe_loss)) {
-          continue;  // probe or response lost in flight
-        }
-        if (dns_->probe_cache(pop, catalog_->service(sid), prefix, now)) {
-          ++prefix_hits;
-          pop_hit = true;
-          if (config_.stop_after_first_hit) break;
-        }
-      }
-      if (pop_hit && pop < 64) stats.pops_seen |= std::uint64_t{1} << pop;
-    }
-    stats.hits += prefix_hits;
-    stats.probes += prefix_probes;
+    stats.hits += outcome.hits;
+    stats.probes += outcome.probes;
+    stats.pops_seen |= outcome.pops_seen;
+    total_probes_ += outcome.probes;
     if (record != nullptr) {
       if (const auto asn = plan_->origin_of(prefix)) {
         auto& [hits, probes] = record->by_as[asn->value()];
-        hits += prefix_hits;
-        probes += prefix_probes;
+        hits += outcome.hits;
+        probes += outcome.probes;
       }
     }
   }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/executor.h"
 #include "net/rng.h"
 
 #include "cdn/services.h"
@@ -33,15 +34,22 @@ struct CacheProbeConfig {
   // probes count toward `probes` (the measurer paid for them) but can
   // never hit — real sweeps against public resolvers see some loss.
   double probe_loss = 0.0;
-  // Seed for the deterministic loss process.
+  // Seed for the deterministic loss process. Each (sweep, prefix) pair
+  // derives its own stream via Rng::split, so loss outcomes are independent
+  // of sharding, thread count and probe order.
   std::uint64_t loss_seed = 0x10c;
 };
 
 class CacheProber {
  public:
+  // `executor` shards sweeps over prefixes; defaults to the serial path.
+  // Sweep results are identical for every thread count: probing only reads
+  // DNS state, per-prefix loss streams are split from the master seed, and
+  // per-shard results merge back in prefix order.
   CacheProber(const dns::DnsSystem& dns, const cdn::ServiceCatalog& catalog,
               const CacheProbeConfig& config = {},
-              const topology::AddressPlan* plan = nullptr);
+              const topology::AddressPlan* plan = nullptr,
+              net::Executor* executor = nullptr);
 
   // One sweep over `prefixes` at simulated time `now`, across all PoPs.
   void sweep(std::span<const Ipv4Prefix> prefixes, SimTime now);
@@ -87,15 +95,30 @@ class CacheProber {
   }
 
  private:
+  // Read-only probing outcome for one prefix within one sweep; computed on
+  // worker threads, merged into results_ in prefix order on the caller.
+  struct PrefixOutcome {
+    std::uint32_t hits = 0;
+    std::uint32_t probes = 0;
+    std::uint64_t pops_seen = 0;
+  };
+
+  [[nodiscard]] PrefixOutcome probe_prefix(const Ipv4Prefix& prefix,
+                                           SimTime now,
+                                           std::uint64_t sweep_index) const;
+
   const dns::DnsSystem* dns_;
   const cdn::ServiceCatalog* catalog_;
   CacheProbeConfig config_;
   const topology::AddressPlan* plan_;
+  net::Executor* executor_;
   std::vector<ServiceId> probe_list_;
   std::unordered_map<Ipv4Prefix, PrefixStats> results_;
   std::vector<SweepRecord> sweep_records_;
   std::uint64_t total_probes_ = 0;
-  Rng loss_rng_;
+  // Root of the per-(sweep, prefix) loss streams (see CacheProbeConfig).
+  Rng loss_root_;
+  std::uint64_t sweep_index_ = 0;
 };
 
 }  // namespace itm::scan

@@ -3,14 +3,19 @@
 namespace itm::scan {
 
 std::unordered_map<Ipv4Prefix, Ipv4Addr> EcsMapper::sweep(
-    const cdn::Service& service,
-    std::span<const Ipv4Prefix> prefixes) const {
+    const cdn::Service& service, std::span<const Ipv4Prefix> prefixes,
+    net::Executor& executor) const {
+  // Each ECS query is an independent read of the authoritative server;
+  // answers land in per-index slots, then insert in prefix order.
+  const auto answers = executor.parallel_map<Ipv4Addr>(
+      prefixes.size(), [this, &service, prefixes](std::size_t i) {
+        return authoritative_->answer(service, prefixes[i], vantage_city_)
+            .address;
+      });
   std::unordered_map<Ipv4Prefix, Ipv4Addr> out;
   out.reserve(prefixes.size());
-  for (const Ipv4Prefix& prefix : prefixes) {
-    const auto answer =
-        authoritative_->answer(service, prefix, vantage_city_);
-    out.emplace(prefix, answer.address);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    out.emplace(prefixes[i], answers[i]);
   }
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include "cdn/services.h"
 #include "dns/authoritative.h"
+#include "net/executor.h"
 
 namespace itm::scan {
 
@@ -21,9 +22,12 @@ class EcsMapper {
   // Front end returned for each prefix. Only ECS-supporting DNS-redirection
   // services expose per-prefix mappings; for others every prefix maps to
   // the same answer (the VIP / the answer for the vantage location).
+  // Queries are independent and shard over `executor`; answers are inserted
+  // in prefix order, so the result (including its hash-map layout) is
+  // identical for every thread count.
   [[nodiscard]] std::unordered_map<Ipv4Prefix, Ipv4Addr> sweep(
-      const cdn::Service& service,
-      std::span<const Ipv4Prefix> prefixes) const;
+      const cdn::Service& service, std::span<const Ipv4Prefix> prefixes,
+      net::Executor& executor = net::Executor::serial()) const;
 
  private:
   const dns::AuthoritativeDns* authoritative_;

@@ -13,44 +13,56 @@ std::vector<const DiscoveredEndpoint*> TlsScanResult::operated_by(
   return out;
 }
 
-TlsScanResult TlsScanner::sweep(
-    std::span<const std::string> operator_names) const {
+TlsScanResult TlsScanner::sweep(std::span<const std::string> operator_names,
+                                net::Executor& executor) const {
   TlsScanResult result;
   // Scanning every address of every routable /24 is the simulation analogue
   // of a full IPv4 TLS sweep. Listening endpoints are sparse, so we walk the
   // inventory keyed by address but still count probed addresses honestly.
   result.addresses_probed = plan_->total_slash24_count() * 256;
 
+  // Snapshot the inventory in address order so shard boundaries (and the
+  // final endpoint order) are independent of hash-map layout and threads.
+  std::vector<const cdn::TlsEndpoint*> listening;
+  listening.reserve(inventory_->size());
   for (const auto& [address, ep] : inventory_->all()) {
-    DiscoveredEndpoint found;
-    found.address = address;
-    found.cert_names = ep.default_cert_names;
-    if (const auto asn = plan_->origin_of(address)) {
-      found.origin_as = *asn;
-    }
-    // Match certificate subjects against known operator patterns.
-    for (const auto& op : operator_names) {
-      const bool match = std::any_of(
-          found.cert_names.begin(), found.cert_names.end(),
-          [&op](const std::string& name) {
-            return name.find(op) != std::string::npos;
-          });
-      if (match) {
-        found.inferred_operator = op;
-        break;
-      }
-    }
-    result.endpoints.push_back(std::move(found));
+    listening.push_back(&ep);
   }
-  std::sort(result.endpoints.begin(), result.endpoints.end(),
-            [](const DiscoveredEndpoint& a, const DiscoveredEndpoint& b) {
-              return a.address < b.address;
+  std::sort(listening.begin(), listening.end(),
+            [](const cdn::TlsEndpoint* a, const cdn::TlsEndpoint* b) {
+              return a->address < b->address;
             });
+
+  // Classify each listening address independently (address-space shards).
+  result.endpoints = executor.parallel_map<DiscoveredEndpoint>(
+      listening.size(), [this, &listening, operator_names](std::size_t i) {
+        const cdn::TlsEndpoint& ep = *listening[i];
+        DiscoveredEndpoint found;
+        found.address = ep.address;
+        found.cert_names = ep.default_cert_names;
+        if (const auto asn = plan_->origin_of(ep.address)) {
+          found.origin_as = *asn;
+        }
+        // Match certificate subjects against known operator patterns.
+        for (const auto& op : operator_names) {
+          const bool match = std::any_of(
+              found.cert_names.begin(), found.cert_names.end(),
+              [&op](const std::string& name) {
+                return name.find(op) != std::string::npos;
+              });
+          if (match) {
+            found.inferred_operator = op;
+            break;
+          }
+        }
+        return found;
+      });
 
   // Off-net inference: the certificate names one operator while BGP says
   // the address belongs to a different network. The operator's own AS is
   // taken as the majority origin among its matched endpoints (in practice
-  // hypergiant ASNs are public knowledge).
+  // hypergiant ASNs are public knowledge); ties break to the lowest ASN so
+  // the choice never depends on hash-map iteration order.
   std::unordered_map<std::string, std::unordered_map<std::uint32_t, int>>
       operator_origins;
   for (const auto& ep : result.endpoints) {
@@ -63,7 +75,7 @@ TlsScanResult TlsScanner::sweep(
     std::uint32_t best_asn = 0;
     int best = -1;
     for (const auto& [asn, count] : origins) {
-      if (count > best) {
+      if (count > best || (count == best && asn < best_asn)) {
         best = count;
         best_asn = asn;
       }

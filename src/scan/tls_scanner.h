@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cdn/tls.h"
+#include "net/executor.h"
 #include "topology/address_plan.h"
 
 namespace itm::scan {
@@ -46,9 +47,13 @@ class TlsScanner {
 
   // Sweeps all addresses in every routable /24. `operator_names` are the
   // known hypergiant certificate patterns to classify against (as in [25],
-  // operator cert patterns are curated by hand).
+  // operator cert patterns are curated by hand). Classification is sharded
+  // over the address space when an executor is given; endpoints are merged
+  // in address order, so the result is byte-identical for every thread
+  // count (Executor::serial() is the legacy single-threaded path).
   [[nodiscard]] TlsScanResult sweep(
-      std::span<const std::string> operator_names) const;
+      std::span<const std::string> operator_names,
+      net::Executor& executor = net::Executor::serial()) const;
 
   // SNI scan: which of `addresses` serve `hostname`?
   [[nodiscard]] std::vector<Ipv4Addr> sni_scan(

@@ -1,0 +1,158 @@
+// The determinism contract of the sharded executor, checked end to end:
+// every pipeline output must be byte-identical whether built with
+// threads=1 (the legacy serial path) or threads=4. The comparisons go
+// through the exporters, so even hash-map iteration order and float
+// accumulation order are covered — not just set equality.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/export.h"
+#include "core/scenario.h"
+#include "core/traffic_map.h"
+#include "core/workload.h"
+#include "net/executor.h"
+#include "scan/cache_prober.h"
+#include "scan/ecs_mapper.h"
+#include "scan/tls_scanner.h"
+
+namespace itm {
+namespace {
+
+core::MapBuildOptions tiny_build_options(std::size_t threads) {
+  core::MapBuildOptions options;
+  options.probe_rounds = 4;
+  options.ecs_map_services = 2;
+  options.recommend_links = 40;
+  options.threads = threads;
+  return options;
+}
+
+struct Exports {
+  std::string map_json;
+  std::string activity_csv;
+  std::string servers_csv;
+  std::string links_csv;
+};
+
+Exports build_and_export(std::size_t threads) {
+  // Each build gets its own scenario (same seed, deterministic generation):
+  // the workload stage mutates DNS caches, so the two builds must start
+  // from identical virgin state.
+  auto scenario = core::Scenario::generate(core::tiny_config(4242));
+  core::MapBuilder builder(*scenario);
+  const auto map = builder.build(tiny_build_options(threads));
+  Exports out;
+  std::ostringstream os;
+  core::export_map_json(map, *scenario, os);
+  out.map_json = os.str();
+  os.str("");
+  core::export_activity_csv(map, *scenario, os);
+  out.activity_csv = os.str();
+  os.str("");
+  core::export_servers_csv(map, *scenario, os);
+  out.servers_csv = os.str();
+  os.str("");
+  core::export_recommended_links_csv(map, *scenario, os);
+  out.links_csv = os.str();
+  return out;
+}
+
+TEST(ParallelEquivalence, FullMapBuildIsByteIdenticalAcrossThreadCounts) {
+  const auto serial = build_and_export(1);
+  const auto parallel = build_and_export(4);
+  EXPECT_EQ(serial.map_json, parallel.map_json);
+  EXPECT_EQ(serial.activity_csv, parallel.activity_csv);
+  EXPECT_EQ(serial.servers_csv, parallel.servers_csv);
+  EXPECT_EQ(serial.links_csv, parallel.links_csv);
+  EXPECT_FALSE(serial.map_json.empty());
+}
+
+TEST(ParallelEquivalence, TlsSweepIdenticalSerialVsParallel) {
+  auto scenario = core::Scenario::generate(core::tiny_config(77));
+  const scan::TlsScanner scanner(scenario->tls(), scenario->topo().addresses);
+  std::vector<std::string> names;
+  for (const auto& hg : scenario->deployment().hypergiants()) {
+    names.push_back(hg.name);
+  }
+  const auto serial = scanner.sweep(names);  // Executor::serial()
+  net::Executor executor(4);
+  const auto parallel = scanner.sweep(names, executor);
+  EXPECT_EQ(serial.addresses_probed, parallel.addresses_probed);
+  ASSERT_EQ(serial.endpoints.size(), parallel.endpoints.size());
+  for (std::size_t i = 0; i < serial.endpoints.size(); ++i) {
+    const auto& a = serial.endpoints[i];
+    const auto& b = parallel.endpoints[i];
+    EXPECT_EQ(a.address, b.address);
+    EXPECT_EQ(a.cert_names, b.cert_names);
+    EXPECT_EQ(a.origin_as, b.origin_as);
+    EXPECT_EQ(a.inferred_operator, b.inferred_operator);
+    EXPECT_EQ(a.inferred_offnet, b.inferred_offnet);
+  }
+  EXPECT_FALSE(serial.endpoints.empty());
+}
+
+TEST(ParallelEquivalence, CacheProbeSweepIdenticalSerialVsParallel) {
+  // One scenario, one day of workload to warm the resolver caches; the
+  // probers only read DNS state, so both see the same world. Loss is on
+  // and sweeps are recorded to exercise every merged field, including the
+  // per-(sweep, prefix) loss streams split from the master seed.
+  auto scenario = core::Scenario::generate(core::tiny_config(909));
+  core::WorkloadConfig wl;
+  core::Workload workload(*scenario, wl, 99);
+  workload.advance_to(wl.duration / 2);
+
+  scan::CacheProbeConfig config;
+  config.probe_loss = 0.2;
+  config.record_sweeps = true;
+  const auto routable = scenario->topo().addresses.routable_slash24s();
+
+  scan::CacheProber serial(scenario->dns(), scenario->catalog(), config,
+                           &scenario->topo().addresses);
+  net::Executor executor(4);
+  scan::CacheProber parallel(scenario->dns(), scenario->catalog(), config,
+                             &scenario->topo().addresses, &executor);
+  for (SimTime at : {wl.duration / 4, wl.duration / 2}) {
+    serial.sweep(routable, at);
+    parallel.sweep(routable, at);
+  }
+
+  EXPECT_EQ(serial.total_probes(), parallel.total_probes());
+  EXPECT_EQ(serial.detected_prefixes(), parallel.detected_prefixes());
+  EXPECT_EQ(serial.prefixes_per_pop(), parallel.prefixes_per_pop());
+  ASSERT_EQ(serial.results().size(), parallel.results().size());
+  for (const auto& [prefix, stats] : serial.results()) {
+    const auto it = parallel.results().find(prefix);
+    ASSERT_NE(it, parallel.results().end());
+    EXPECT_EQ(stats.hits, it->second.hits);
+    EXPECT_EQ(stats.probes, it->second.probes);
+    EXPECT_EQ(stats.pops_seen, it->second.pops_seen);
+  }
+  ASSERT_EQ(serial.sweep_records().size(), parallel.sweep_records().size());
+  for (std::size_t i = 0; i < serial.sweep_records().size(); ++i) {
+    EXPECT_EQ(serial.sweep_records()[i].at, parallel.sweep_records()[i].at);
+    EXPECT_EQ(serial.sweep_records()[i].by_as,
+              parallel.sweep_records()[i].by_as);
+  }
+  EXPECT_GT(serial.total_probes(), 0u);
+}
+
+TEST(ParallelEquivalence, EcsMapperSweepIdenticalSerialVsParallel) {
+  auto scenario = core::Scenario::generate(core::tiny_config(313));
+  const auto routable = scenario->topo().addresses.routable_slash24s();
+  const scan::EcsMapper mapper(scenario->dns().authoritative(),
+                               scenario->topo().geography.cities().front().id);
+  net::Executor executor(4);
+  std::size_t compared = 0;
+  for (const auto& service : scenario->catalog().services()) {
+    const auto serial = mapper.sweep(service, routable);
+    const auto parallel = mapper.sweep(service, routable, executor);
+    EXPECT_EQ(serial, parallel);
+    if (++compared >= 3) break;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+}  // namespace
+}  // namespace itm

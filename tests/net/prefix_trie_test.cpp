@@ -141,5 +141,128 @@ TEST_P(PrefixTrieProperty, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
 
+// Stateful property test: ~10k random interleaved operations against a
+// std::map oracle with brute-force LPM/covering scans. Catches interactions
+// the static test above cannot — erase leaving internal nodes, reinsertion
+// after erase, size bookkeeping across overwrites, /0 and /32 extremes.
+class PrefixTrieStatefulProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieStatefulProperty, AgreesWithMapOracle) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Ipv4Prefix, int> oracle;
+
+  // Mutating/querying ops target a previously-inserted prefix half the
+  // time so erase/overwrite/find regularly hit live entries; the other half
+  // draws fresh prefixes across the full /0../32 range.
+  std::vector<Ipv4Prefix> inserted;
+  const auto fresh_prefix = [&rng] {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(0, 32));
+    const auto base = static_cast<std::uint32_t>(rng.next_u64());
+    return Ipv4Prefix(Ipv4Addr(base), len);  // canonicalizes host bits
+  };
+  const auto random_prefix = [&] {
+    if (!inserted.empty() && rng.next_below(2) == 0) {
+      return inserted[rng.next_below(inserted.size())];
+    }
+    return fresh_prefix();
+  };
+
+  const auto oracle_lpm = [&oracle](Ipv4Addr addr) {
+    const std::pair<const Ipv4Prefix, int>* best = nullptr;
+    for (const auto& entry : oracle) {
+      if (entry.first.contains(addr) &&
+          (best == nullptr || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    return best;
+  };
+  const auto oracle_covering = [&oracle](const Ipv4Prefix& q) {
+    const std::pair<const Ipv4Prefix, int>* best = nullptr;
+    for (const auto& entry : oracle) {
+      if (entry.first.length() <= q.length() &&
+          entry.first.contains(q.base()) &&
+          (best == nullptr || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    return best;
+  };
+
+  for (int op = 0; op < 10000; ++op) {
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const auto p = random_prefix();
+        trie.insert(p, op);
+        oracle[p] = op;
+        inserted.push_back(p);
+        break;
+      }
+      case 2: {  // erase (often an existing entry)
+        const auto p = random_prefix();
+        const bool expect = oracle.erase(p) > 0;
+        EXPECT_EQ(trie.erase(p), expect);
+        break;
+      }
+      case 3: {  // exact find
+        const auto p = random_prefix();
+        const auto it = oracle.find(p);
+        const int* got = trie.find(p);
+        if (it == oracle.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 4: {  // longest_match
+        const Ipv4Addr addr(static_cast<std::uint32_t>(rng.next_u64()));
+        const auto* best = oracle_lpm(addr);
+        const auto got = trie.longest_match(addr);
+        if (best == nullptr) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(got->first, best->first);
+          EXPECT_EQ(got->second.get(), best->second);
+        }
+        break;
+      }
+      case 5: {  // longest_covering
+        const auto q = random_prefix();
+        const auto* best = oracle_covering(q);
+        const auto got = trie.longest_covering(q);
+        if (best == nullptr) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(got->first, best->first);
+          EXPECT_EQ(got->second.get(), best->second);
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(trie.size(), oracle.size());
+  }
+
+  // Final sweep: surviving entries match the oracle exactly, and for_each
+  // yields them in (base, length) order — the same order std::map uses.
+  const auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), oracle.size());
+  auto it = oracle.begin();
+  for (const auto& [p, v] : entries) {
+    EXPECT_EQ(p, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieStatefulProperty,
+                         ::testing::Values(17, 404, 0xabcdef));
+
 }  // namespace
 }  // namespace itm

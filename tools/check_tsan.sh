@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build the deterministic-parallelism tests under ThreadSanitizer and run
+# the tsan-labeled subset (executor unit tests + serial/parallel
+# equivalence tests). This is the data-race gate for src/net/executor.*
+# and every sharded pipeline stage.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DITM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target executor_tests parallel_tests
+
+# Fail on any race TSan reports, even if the test assertions still pass.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 abort_on_error=1}"
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j"$(nproc)"

@@ -2,9 +2,11 @@
 //
 //   itm generate [--seed N] [--scale tiny|default|large]
 //       Generate a synthetic Internet and print its inventory.
-//   itm map [--seed N] [--scale S] [--json FILE] [--csv PREFIX]
+//   itm map [--seed N] [--scale S] [--threads N] [--json FILE] [--csv PREFIX]
 //       Build the traffic map from public-data measurements; optionally
-//       export JSON and/or CSV artifacts.
+//       export JSON and/or CSV artifacts. --threads shards the scan and
+//       routing stages (0 = hardware concurrency, 1 = serial); the map is
+//       byte-identical for every thread count.
 //   itm outage <as-name> [--seed N] [--scale S]
 //       Map-based outage estimate plus ground-truth what-if simulation.
 //   itm path <src-as> <dst-as> [--seed N] [--scale S]
@@ -38,6 +40,9 @@ using namespace itm;
 struct CliOptions {
   std::uint64_t seed = 42;
   std::string scale = "default";
+  // Worker threads for map builds: 0 = hardware concurrency, 1 = the exact
+  // legacy serial path. Output is byte-identical for every value.
+  std::size_t threads = 0;
   std::optional<std::string> json_path;
   std::optional<std::string> csv_prefix;
   std::vector<std::string> positional;
@@ -58,6 +63,8 @@ CliOptions parse(int argc, char** argv, int first) {
       options.seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--scale") {
       options.scale = next();
+    } else if (arg == "--threads") {
+      options.threads = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--json") {
       options.json_path = next();
     } else if (arg == "--csv") {
@@ -116,8 +123,17 @@ int cmd_generate(const CliOptions& options) {
 int cmd_map(const CliOptions& options) {
   auto scenario = make_scenario(options);
   core::MapBuilder builder(*scenario);
+  core::MapBuildOptions build_options;
+  build_options.threads = options.threads;
   std::cerr << "building the traffic map...\n";
-  const auto map = builder.build();
+  const auto map = builder.build(build_options);
+  const auto& timings = builder.last_timings();
+  std::cerr << "stage wall time: probing " << core::num(timings.workload_probe_s, 2)
+            << " s, tls " << core::num(timings.tls_scan_s, 2)
+            << " s, ecs " << core::num(timings.ecs_map_s, 2)
+            << " s, routing " << core::num(timings.routing_s, 2)
+            << " s, inference " << core::num(timings.inference_s, 2)
+            << " s\n";
   core::Table table({"map component", "value"});
   table.row("client /24s detected", map.client_prefixes.size());
   table.row("client ASes", map.client_ases.size());
@@ -164,8 +180,10 @@ int cmd_outage(const CliOptions& options) {
     return 2;
   }
   core::MapBuilder builder(*scenario);
+  core::MapBuildOptions build_options;
+  build_options.threads = options.threads;
   std::cerr << "building the traffic map...\n";
-  const auto map = builder.build();
+  const auto map = builder.build(build_options);
   const auto estimate = map.outage_impact(*failed, scenario->topo().addresses);
   const auto truth = core::simulate_as_failure(*scenario, *failed);
 
