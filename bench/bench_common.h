@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include "core/traffic_map.h"
 #include "core/workload.h"
 #include "net/executor.h"
+#include "obs/metrics.h"
 #include "scan/cache_prober.h"
 #include "scan/root_crawler.h"
 
@@ -56,6 +58,23 @@ inline void report_stage_timings(const core::MapBuildTimings& t) {
             << core::num(t.ecs_map_s, 2) << " s, routing "
             << core::num(t.routing_s, 2) << " s, inference "
             << core::num(t.inference_s, 2) << " s\n";
+}
+
+// Writes the current metrics registry (all sections, including wall-clock)
+// to $ITM_BENCH_METRICS_DIR/<bench_name>.metrics.json; no-op when the env
+// var is unset. Call once per bench run, after the measured work.
+inline void dump_metrics_snapshot(const char* bench_name) {
+  const char* dir = std::getenv("ITM_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path =
+      std::string(dir) + "/" + bench_name + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot write metrics snapshot " << path << "\n";
+    return;
+  }
+  obs::metrics().write_json(out, obs::MetricsRegistry::Export::kAll);
+  std::cerr << "[bench] wrote metrics snapshot " << path << "\n";
 }
 
 inline core::ScenarioConfig config_from_args(int argc, char** argv) {

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
             << " of reference-hypergiant traffic (paper: ~95%), "
             << core::pct(cov.false_positive_rate)
             << " false positives (paper: <1%)\n";
+  itm::bench::dump_metrics_snapshot("fig1a_cache_probing");
   return 0;
 }

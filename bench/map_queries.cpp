@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
   std::cout << "counting outages equally suggests the median event is "
                "negligible; weighting by affected traffic shows the typical "
                "affected *byte* sits in a far more impactful event\n";
+  itm::bench::dump_metrics_snapshot("map_queries");
   return 0;
 }

@@ -8,6 +8,7 @@
 // output at every thread count, so these benches measure wall clock only.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/scenario.h"
 #include "core/workload.h"
 #include "net/executor.h"
@@ -183,4 +184,13 @@ BENCHMARK(BM_ScenarioGenerateTiny);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so a metrics snapshot (ITM_BENCH_METRICS_DIR) can
+// be written after the benchmarks run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  itm::bench::dump_metrics_snapshot("micro_core");
+  return 0;
+}

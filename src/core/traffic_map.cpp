@@ -1,9 +1,10 @@
 #include "core/traffic_map.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "net/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scan/ecs_mapper.h"
 
 namespace itm::core {
@@ -45,32 +46,74 @@ OutageImpact TrafficMap::outage_impact(Asn failed,
   return impact;
 }
 
+namespace {
+
+// Counts the DNS resolution activity a build stage caused: snapshots the
+// system's cumulative stats and, on finish(), publishes the delta as obs
+// counters. The workload driver is single-threaded, so every value is a pure
+// function of the seed — deterministic across thread counts.
+class DnsStatsDelta {
+ public:
+  explicit DnsStatsDelta(const dns::DnsSystem& dns)
+      : dns_(&dns), before_(dns.stats()) {}
+
+  void finish() const {
+    const auto& after = dns_->stats();
+    obs::count("dns.queries", after.queries - before_.queries);
+    obs::count("dns.public.queries",
+               after.public_queries - before_.public_queries);
+    obs::count("dns.public.cache_hits",
+               after.public_hits - before_.public_hits);
+    obs::count("dns.public.cache_misses",
+               after.public_misses - before_.public_misses);
+    obs::count("dns.public.ttl_expiries",
+               after.public_expired - before_.public_expired);
+    obs::count("dns.isp.cache_hits", after.isp_hits - before_.isp_hits);
+    obs::count("dns.isp.cache_misses", after.isp_misses - before_.isp_misses);
+    obs::count("dns.isp.ttl_expiries",
+               after.isp_expired - before_.isp_expired);
+    obs::count("dns.cache.insertions", after.insertions - before_.insertions);
+    obs::count("dns.cache.evictions", after.purged - before_.purged);
+  }
+
+ private:
+  const dns::DnsSystem* dns_;
+  dns::DnsSystem::Stats before_;
+};
+
+}  // namespace
+
 TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   Scenario& s = *scenario_;
   TrafficMap map;
   timings_ = MapBuildTimings{};
+  const auto stage_begin = [&options](const char* stage) {
+    if (options.on_stage) options.on_stage(stage);
+  };
 
   // One pool for every sharded stage; threads=1 is the legacy serial path.
   net::Executor executor(options.threads);
-  using Clock = std::chrono::steady_clock;
-  const auto stage_seconds = [](Clock::time_point since) {
-    return std::chrono::duration<double>(Clock::now() - since).count();
-  };
-  auto stage_start = Clock::now();
 
   // ---- Drive a day of user behaviour, probing caches along the way.
-  Workload workload(s, options.workload, s.config().seed ^ 0x17f);
-  prober_ = std::make_unique<scan::CacheProber>(
-      s.dns(), s.catalog(), options.probing, &s.topo().addresses, &executor);
-  const auto routable = s.topo().addresses.routable_slash24s();
-  for (std::size_t round = 0; round < options.probe_rounds; ++round) {
-    const SimTime at = (2 * round + 1) * options.workload.duration /
-                       (2 * options.probe_rounds);
-    workload.advance_to(at);
-    prober_->sweep(routable, at);
+  stage_begin("map.workload_probe");
+  {
+    obs::Span span("map.workload_probe");
+    const DnsStatsDelta dns_delta(s.dns());
+    Workload workload(s, options.workload, s.config().seed ^ 0x17f);
+    prober_ = std::make_unique<scan::CacheProber>(
+        s.dns(), s.catalog(), options.probing, &s.topo().addresses, &executor);
+    const auto routable = s.topo().addresses.routable_slash24s();
+    for (std::size_t round = 0; round < options.probe_rounds; ++round) {
+      const SimTime at = (2 * round + 1) * options.workload.duration /
+                         (2 * options.probe_rounds);
+      workload.advance_to(at);
+      prober_->sweep(routable, at);
+    }
+    workload.finish();
+    dns_delta.finish();
+    obs::count("map.workload_events", workload.processed_events());
+    timings_.workload_probe_s = span.close();
   }
-  workload.finish();
-  timings_.workload_probe_s = stage_seconds(stage_start);
 
   // ---- Component 1: users and activity.
   map.client_prefixes = prober_->detected_prefixes();
@@ -81,33 +124,47 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   map.activity = inference::combine_activity(
       inference::activity_from_cache_hits(*prober_, s.topo().addresses),
       inference::activity_from_root_logs(crawl_));
+  obs::gauge_set("map.client_prefixes",
+                 static_cast<std::int64_t>(map.client_prefixes.size()));
+  obs::gauge_set("map.client_ases",
+                 static_cast<std::int64_t>(map.client_ases.size()));
+  obs::gauge_set("scan.root_crawl.detected_ases",
+                 static_cast<std::int64_t>(root_ases.size()));
 
   // ---- Component 2: services.
-  stage_start = Clock::now();
-  std::vector<std::string> operator_names;
-  for (const auto& hg : s.deployment().hypergiants()) {
-    operator_names.push_back(hg.name);
-  }
-  const scan::TlsScanner tls_scanner(s.tls(), s.topo().addresses);
-  map.tls = tls_scanner.sweep(operator_names, executor);
-  timings_.tls_scan_s = stage_seconds(stage_start);
-
-  stage_start = Clock::now();
-  const scan::EcsMapper ecs_mapper(s.dns().authoritative(),
-                                   s.topo().geography.cities().front().id);
-  std::size_t mapped = 0;
-  for (const ServiceId sid : s.catalog().by_popularity()) {
-    if (mapped >= options.ecs_map_services) break;
-    const auto& service = s.catalog().service(sid);
-    if (service.redirection != cdn::RedirectionKind::kDnsRedirection ||
-        !service.supports_ecs) {
-      continue;
+  stage_begin("map.tls_scan");
+  {
+    obs::Span span("map.tls_scan");
+    std::vector<std::string> operator_names;
+    for (const auto& hg : s.deployment().hypergiants()) {
+      operator_names.push_back(hg.name);
     }
-    map.user_mapping.emplace(sid.value(),
-                             ecs_mapper.sweep(service, routable, executor));
-    ++mapped;
+    const scan::TlsScanner tls_scanner(s.tls(), s.topo().addresses);
+    map.tls = tls_scanner.sweep(operator_names, executor);
+    timings_.tls_scan_s = span.close();
   }
-  timings_.ecs_map_s = stage_seconds(stage_start);
+
+  stage_begin("map.ecs_map");
+  {
+    obs::Span span("map.ecs_map");
+    const auto routable = s.topo().addresses.routable_slash24s();
+    const scan::EcsMapper ecs_mapper(s.dns().authoritative(),
+                                     s.topo().geography.cities().front().id);
+    std::size_t mapped = 0;
+    for (const ServiceId sid : s.catalog().by_popularity()) {
+      if (mapped >= options.ecs_map_services) break;
+      const auto& service = s.catalog().service(sid);
+      if (service.redirection != cdn::RedirectionKind::kDnsRedirection ||
+          !service.supports_ecs) {
+        continue;
+      }
+      map.user_mapping.emplace(sid.value(),
+                               ecs_mapper.sweep(service, routable, executor));
+      ++mapped;
+    }
+    obs::gauge_set("map.services_mapped", static_cast<std::int64_t>(mapped));
+    timings_.ecs_map_s = span.close();
+  }
   std::vector<const std::unordered_map<Ipv4Prefix, Ipv4Addr>*> sweeps;
   sweeps.reserve(map.user_mapping.size());
   for (const auto& [sid, sweep] : map.user_mapping) {
@@ -124,30 +181,37 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   map.server_locations = inference::geolocate_servers(sweeps, locator);
 
   // ---- Component 3: routes.
-  stage_start = Clock::now();
-  const routing::Bgp bgp(topo.graph);
-  std::vector<Asn> feeders = topo.tier1s;
-  const auto n_transit_feeders = static_cast<std::size_t>(
-      options.collector_feeder_fraction *
-      static_cast<double>(topo.transits.size()));
-  for (std::size_t i = 0; i < n_transit_feeders; ++i) {
-    feeders.push_back(topo.transits[i]);
+  stage_begin("map.routing");
+  {
+    obs::Span span("map.routing");
+    const routing::Bgp bgp(topo.graph);
+    std::vector<Asn> feeders = topo.tier1s;
+    const auto n_transit_feeders = static_cast<std::size_t>(
+        options.collector_feeder_fraction *
+        static_cast<double>(topo.transits.size()));
+    for (std::size_t i = 0; i < n_transit_feeders; ++i) {
+      feeders.push_back(topo.transits[i]);
+    }
+    std::vector<Asn> destinations;
+    destinations.reserve(topo.graph.size());
+    for (const auto& as : topo.graph.ases()) destinations.push_back(as.asn);
+    map.public_view =
+        routing::collect_public_view(bgp, feeders, destinations, executor);
+    map.observed_graph =
+        routing::observed_subgraph(topo.graph, map.public_view);
+    timings_.routing_s = span.close();
   }
-  std::vector<Asn> destinations;
-  destinations.reserve(topo.graph.size());
-  for (const auto& as : topo.graph.ases()) destinations.push_back(as.asn);
-  map.public_view =
-      routing::collect_public_view(bgp, feeders, destinations, executor);
-  map.observed_graph = routing::observed_subgraph(topo.graph, map.public_view);
-  timings_.routing_s = stage_seconds(stage_start);
 
-  stage_start = Clock::now();
-  const inference::PeeringRecommender recommender(s.peeringdb(),
-                                                  map.observed_graph);
-  map.recommended_links = recommender.recommend(options.recommend_links);
-  map.augmented_graph =
-      inference::augment_graph(map.observed_graph, map.recommended_links);
-  timings_.inference_s = stage_seconds(stage_start);
+  stage_begin("map.inference");
+  {
+    obs::Span span("map.inference");
+    const inference::PeeringRecommender recommender(s.peeringdb(),
+                                                    map.observed_graph);
+    map.recommended_links = recommender.recommend(options.recommend_links);
+    map.augmented_graph =
+        inference::augment_graph(map.observed_graph, map.recommended_links);
+    timings_.inference_s = span.close();
+  }
   return map;
 }
 

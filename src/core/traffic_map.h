@@ -11,6 +11,7 @@
 // against the ground truth the scenario kept hidden.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -44,9 +45,21 @@ struct MapBuildOptions {
   // legacy serial path. Output is byte-identical for every value — threads
   // only change wall-clock time (DESIGN.md decision #6).
   std::size_t threads = 0;
+  // Invoked at the start of each pipeline stage with the stage's span name
+  // ("map.workload_probe", ...); the CLI's --verbose progress hook.
+  std::function<void(const char* stage)> on_stage;
 };
 
-// Wall-clock seconds spent in each pipeline stage of the last build.
+// Pipeline stage names as they appear in the tracer (obs::Span names) and in
+// `itm map --trace-out` output, in execution order.
+inline constexpr const char* kMapStageNames[] = {
+    "map.workload_probe", "map.tls_scan", "map.ecs_map", "map.routing",
+    "map.inference"};
+
+// Wall-clock seconds spent in each pipeline stage of the last build. A
+// compatibility *view* over the obs tracer spans (one per kMapStageNames
+// entry) — the tracer is the single source of truth; this struct is filled
+// from the span durations when a build finishes.
 struct MapBuildTimings {
   double workload_probe_s = 0.0;
   double tls_scan_s = 0.0;
@@ -111,7 +124,10 @@ class MapBuilder {
   [[nodiscard]] const scan::RootCrawlResult& last_crawl() const {
     return crawl_;
   }
-  // Per-stage wall time of the last build (for benches and the CLI).
+  // Per-stage wall time of the last build (for benches and the CLI); a view
+  // over the obs tracer's stage spans. The full span record — including
+  // per-sweep sub-spans — lives in the obs::Tracer that was current during
+  // build() (see `itm map --trace-out`).
   [[nodiscard]] const MapBuildTimings& last_timings() const {
     return timings_;
   }

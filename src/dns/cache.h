@@ -31,18 +31,32 @@ class DnsCache {
     entries_[key(service, scope)] = Entry{answer, expiry};
   }
 
-  [[nodiscard]] std::optional<Ipv4Addr> lookup(ServiceId service,
-                                               std::uint32_t scope,
-                                               SimTime now) const {
+  // Why the probe missed: no entry at all vs. an entry that outlived its
+  // TTL. Callers tracking cache effectiveness (DnsSystem::Stats, the obs
+  // counters) need the split; measurement code ignores it.
+  enum class LookupOutcome { kHit, kMiss, kExpired };
+
+  [[nodiscard]] std::optional<Ipv4Addr> lookup(
+      ServiceId service, std::uint32_t scope, SimTime now,
+      LookupOutcome* outcome = nullptr) const {
     const auto it = entries_.find(key(service, scope));
-    if (it == entries_.end() || it->second.expiry <= now) return std::nullopt;
+    if (it == entries_.end()) {
+      if (outcome != nullptr) *outcome = LookupOutcome::kMiss;
+      return std::nullopt;
+    }
+    if (it->second.expiry <= now) {
+      if (outcome != nullptr) *outcome = LookupOutcome::kExpired;
+      return std::nullopt;
+    }
+    if (outcome != nullptr) *outcome = LookupOutcome::kHit;
     return it->second.answer;
   }
 
-  // Removes expired entries (call occasionally to bound memory).
-  void purge(SimTime now) {
-    std::erase_if(entries_,
-                  [now](const auto& kv) { return kv.second.expiry <= now; });
+  // Removes expired entries (call occasionally to bound memory); returns the
+  // number evicted.
+  std::size_t purge(SimTime now) {
+    return std::erase_if(
+        entries_, [now](const auto& kv) { return kv.second.expiry <= now; });
   }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

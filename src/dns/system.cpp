@@ -128,11 +128,17 @@ DnsSystem::ResolveResult DnsSystem::resolve(const traffic::UserPrefix& up,
     const std::uint32_t scope = service.supports_ecs
                                     ? DnsCache::scope_of(up.prefix)
                                     : DnsCache::kGlobalScope;
-    if (const auto cached = cache.lookup(service.id, scope, now)) {
+    DnsCache::LookupOutcome outcome;
+    if (const auto cached = cache.lookup(service.id, scope, now, &outcome)) {
       ++stats_.public_hits;
       result.cache_hit = true;
       result.answer = *cached;
       return result;
+    }
+    if (outcome == DnsCache::LookupOutcome::kExpired) {
+      ++stats_.public_expired;
+    } else {
+      ++stats_.public_misses;
     }
     // Miss: the public resolver queries the authoritative, forwarding the
     // client subnet (services that ignore ECS answer by the PoP's location).
@@ -144,6 +150,7 @@ DnsSystem::ResolveResult DnsSystem::resolve(const traffic::UserPrefix& up,
     const SimTime expiry =
         now + std::min<std::uint32_t>(ans.ttl_s, config_.max_cache_ttl_s);
     cache.insert(service.id, ans.cache_scope, ans.address, expiry);
+    ++stats_.insertions;
     result.answer = ans.address;
     return result;
   }
@@ -153,17 +160,24 @@ DnsSystem::ResolveResult DnsSystem::resolve(const traffic::UserPrefix& up,
   auto it = isp_resolvers_.find(isp_resolver_address(up.asn));
   assert(it != isp_resolvers_.end());
   IspResolver& resolver = it->second;
-  if (const auto cached =
-          resolver.cache.lookup(service.id, DnsCache::kGlobalScope, now)) {
+  DnsCache::LookupOutcome outcome;
+  if (const auto cached = resolver.cache.lookup(
+          service.id, DnsCache::kGlobalScope, now, &outcome)) {
     ++stats_.isp_hits;
     result.cache_hit = true;
     result.answer = *cached;
     return result;
   }
+  if (outcome == DnsCache::LookupOutcome::kExpired) {
+    ++stats_.isp_expired;
+  } else {
+    ++stats_.isp_misses;
+  }
   const auto ans = authoritative_.answer(service, std::nullopt,
                                          resolver.city, resolver.host);
   resolver.cache.insert(service.id, DnsCache::kGlobalScope, ans.address,
                         now + ans.ttl_s);
+  ++stats_.insertions;
   result.answer = ans.address;
   return result;
 }
@@ -195,8 +209,10 @@ std::optional<Ipv4Addr> DnsSystem::probe_cache(std::size_t pop_index,
 }
 
 void DnsSystem::purge(SimTime now) {
-  for (auto& cache : pop_caches_) cache.purge(now);
-  for (auto& [addr, resolver] : isp_resolvers_) resolver.cache.purge(now);
+  for (auto& cache : pop_caches_) stats_.purged += cache.purge(now);
+  for (auto& [addr, resolver] : isp_resolvers_) {
+    stats_.purged += resolver.cache.purge(now);
+  }
 }
 
 }  // namespace itm::dns

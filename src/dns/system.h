@@ -106,11 +106,21 @@ class DnsSystem {
 
   void purge(SimTime now);
 
+  // Workload-path cache effectiveness. Misses split into cold (no entry)
+  // and TTL expiries (entry present but stale); purged counts entries
+  // evicted by purge(). All driven by the single-threaded workload, so the
+  // values are deterministic for a given seed.
   struct Stats {
     std::uint64_t queries = 0;
     std::uint64_t public_queries = 0;
     std::uint64_t public_hits = 0;
+    std::uint64_t public_misses = 0;
+    std::uint64_t public_expired = 0;
     std::uint64_t isp_hits = 0;
+    std::uint64_t isp_misses = 0;
+    std::uint64_t isp_expired = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t purged = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace itm::inference {
 
 using topology::PeeringPolicy;
@@ -165,9 +168,12 @@ double PeeringRecommender::score(Asn a, Asn b) const {
 
 std::vector<LinkCandidate> PeeringRecommender::recommend(
     std::size_t top_k) const {
+  ITM_SPAN("inference.recommend");
   std::vector<LinkCandidate> candidates;
+  std::uint64_t scored = 0;
   for (const auto& [a, b] : colocated_pairs(*pdb_)) {
     if (observed_->adjacent(a, b)) continue;
+    ++scored;
     const double s = score(a, b);
     if (s > 0) candidates.push_back(LinkCandidate{a, b, s});
   }
@@ -176,6 +182,8 @@ std::vector<LinkCandidate> PeeringRecommender::recommend(
               return x.score > y.score;
             });
   if (candidates.size() > top_k) candidates.resize(top_k);
+  obs::count("inference.recommender.pairs_scored", scored);
+  obs::count("inference.recommender.links_recommended", candidates.size());
   return candidates;
 }
 

@@ -1,7 +1,10 @@
 #include "net/executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace itm::net {
 
@@ -10,6 +13,43 @@ namespace {
 // Set while the current thread is executing a shard function; used to
 // reject nested parallel_for calls, which could deadlock the pool.
 thread_local bool tl_in_shard = false;
+
+// Per-shard wall-time histogram bounds: 0.1 ms .. 1 s in decades (µs).
+constexpr std::uint64_t kShardMicrosBounds[] = {100, 1000, 10000, 100000,
+                                                1000000};
+
+// Shards concurrently executing across all executors; its high-water mark is
+// the closest analogue of "queue depth" for this pool (claimed-but-running
+// work). Scheduling-dependent, so recorded in the wall-clock section.
+std::atomic<std::int64_t> g_active_shards{0};
+
+// Times one shard and feeds the executor's wall-clock metrics. The event
+// *counts* (batches, shards) are deterministic — shard geometry is a pure
+// function of n — and recorded by the caller; only durations and concurrency
+// live here.
+class ShardTimer {
+ public:
+  ShardTimer()
+      : start_(std::chrono::steady_clock::now()),
+        active_(g_active_shards.fetch_add(1, std::memory_order_relaxed) + 1) {
+    obs::gauge_max("executor.active_shards_hwm", active_,
+                   obs::Determinism::kWallClock);
+  }
+  ~ShardTimer() {
+    g_active_shards.fetch_sub(1, std::memory_order_relaxed);
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    obs::observe("executor.shard_micros", kShardMicrosBounds,
+                 static_cast<std::uint64_t>(micros),
+                 obs::Determinism::kWallClock);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t active_;
+};
 
 }  // namespace
 
@@ -70,6 +110,7 @@ void Executor::run_shards(Batch& batch) {
     shard.end = shard.begin + base + (index < rem ? 1 : 0);
     tl_in_shard = true;
     try {
+      const ShardTimer timer;
       (*batch.fn)(shard);
     } catch (...) {
       batch.errors[index] = std::current_exception();
@@ -107,6 +148,14 @@ void Executor::parallel_for(std::size_t n,
   }
   if (n == 0) return;
   const std::size_t shard_count = shard_count_for(n);
+  // Deterministic batch bookkeeping: shard geometry depends only on n, so
+  // these counts are identical for every thread count. The thread count
+  // itself is a run property, not an event count.
+  obs::count("executor.batches");
+  obs::count("executor.shards", shard_count);
+  obs::count("executor.items", n);
+  obs::gauge_set("executor.threads", static_cast<std::int64_t>(threads_),
+                 obs::Determinism::kWallClock);
   if (threads_ == 1 || shard_count == 1) {
     // Inline serial path: identical shard geometry, no pool involvement.
     const std::size_t base = n / shard_count;
@@ -119,6 +168,7 @@ void Executor::parallel_for(std::size_t n,
       shard.end = shard.begin + base + (index < rem ? 1 : 0);
       tl_in_shard = true;
       try {
+        const ShardTimer timer;
         fn(shard);
       } catch (...) {
         tl_in_shard = false;

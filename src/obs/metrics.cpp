@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace itm::obs {
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("Histogram: bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(std::uint64_t sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, Kind kind, Determinism det,
+    std::span<const std::uint64_t> bounds) {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                             "' already registered with a different type");
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.det = det;
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(bounds);
+      break;
+  }
+  return entries_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Determinism det) {
+  return *find_or_create(name, Kind::kCounter, det, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Determinism det) {
+  return *find_or_create(name, Kind::kGauge, det, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const std::uint64_t> bounds,
+                                      Determinism det) {
+  return *find_or_create(name, Kind::kHistogram, det, bounds).histogram;
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::optional<std::uint64_t> MetricsRegistry::counter_value(
+    std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) {
+    return std::nullopt;
+  }
+  return it->second.counter->value();
+}
+
+std::optional<std::int64_t> MetricsRegistry::gauge_value(
+    std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kGauge) {
+    return std::nullopt;
+  }
+  return it->second.gauge->value();
+}
+
+namespace {
+
+// JSON string escaping for metric names (kept ASCII by convention, but the
+// writer stays safe for arbitrary content).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os, Export what) const {
+  const std::lock_guard lock(mutex_);
+  const auto write_section = [&](Determinism det, const char* title,
+                                 const char* indent) {
+    os << indent << "\"" << title << "\": {\n";
+    for (const Kind kind :
+         {Kind::kCounter, Kind::kGauge, Kind::kHistogram}) {
+      const char* kind_name = kind == Kind::kCounter   ? "counters"
+                              : kind == Kind::kGauge   ? "gauges"
+                                                       : "histograms";
+      os << indent << "  \"" << kind_name << "\": {";
+      bool first = true;
+      for (const auto& [name, entry] : entries_) {
+        if (entry.kind != kind || entry.det != det) continue;
+        if (!first) os << ",";
+        first = false;
+        os << "\n" << indent << "    \"" << json_escape(name) << "\": ";
+        switch (kind) {
+          case Kind::kCounter: os << entry.counter->value(); break;
+          case Kind::kGauge: os << entry.gauge->value(); break;
+          case Kind::kHistogram: {
+            const Histogram& h = *entry.histogram;
+            os << "{\"bounds\": [";
+            for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+              if (i) os << ", ";
+              os << h.bounds()[i];
+            }
+            os << "], \"counts\": [";
+            const auto counts = h.counts();
+            for (std::size_t i = 0; i < counts.size(); ++i) {
+              if (i) os << ", ";
+              os << counts[i];
+            }
+            os << "], \"count\": " << h.count() << ", \"sum\": " << h.sum()
+               << "}";
+            break;
+          }
+        }
+      }
+      os << (first ? "" : "\n" + std::string(indent) + "  ") << "}";
+      os << (kind == Kind::kHistogram ? "\n" : ",\n");
+    }
+    os << indent << "}";
+  };
+
+  os << "{\n  \"metrics\": {\n";
+  write_section(Determinism::kDeterministic, "deterministic", "    ");
+  if (what == Export::kAll) {
+    os << ",\n";
+    write_section(Determinism::kWallClock, "wall_clock", "    ");
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  const std::lock_guard lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    os << name;
+    if (entry.det == Determinism::kWallClock) os << " [wall]";
+    os << " = ";
+    switch (entry.kind) {
+      case Kind::kCounter: os << entry.counter->value(); break;
+      case Kind::kGauge: os << entry.gauge->value(); break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        os << "count " << h.count() << ", sum " << h.sum() << ", buckets [";
+        const auto counts = h.counts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i) os << " ";
+          os << counts[i];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "\n";
+  }
+}
+
+namespace {
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+// The innermost installed registry. Release/acquire pairs with the
+// executor's batch hand-off, so workers inside a scoped batch observe the
+// installing store.
+std::atomic<MetricsRegistry*> g_current{nullptr};
+
+}  // namespace
+
+MetricsRegistry& metrics() {
+  MetricsRegistry* current = g_current.load(std::memory_order_acquire);
+  return current != nullptr ? *current : default_registry();
+}
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry& registry)
+    : previous_(g_current.exchange(&registry, std::memory_order_acq_rel)) {}
+
+ScopedMetrics::~ScopedMetrics() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+}  // namespace itm::obs

@@ -1,5 +1,8 @@
 #include "routing/public_view.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace itm::routing {
 
 using topology::AsGraph;
@@ -43,16 +46,14 @@ void add_feeder_paths(PublicView& view, const RouteTable& table,
 
 PublicView collect_public_view(const Bgp& bgp, std::span<const Asn> feeders,
                                std::span<const Asn> destinations) {
-  PublicView view;
-  for (const Asn dest : destinations) {
-    add_feeder_paths(view, bgp.routes_to(dest), feeders);
-  }
-  return view;
+  return collect_public_view(bgp, feeders, destinations,
+                             net::Executor::serial());
 }
 
 PublicView collect_public_view(const Bgp& bgp, std::span<const Asn> feeders,
                                std::span<const Asn> destinations,
                                net::Executor& executor) {
+  ITM_SPAN("routing.public_view.collect");
   // One view per shard, merged in shard order. Membership in the view is a
   // set union, so the merged content equals the serial result exactly.
   const auto shard_views = executor.map_shards<PublicView>(
@@ -66,6 +67,13 @@ PublicView collect_public_view(const Bgp& bgp, std::span<const Asn> feeders,
       });
   PublicView view;
   for (const auto& shard_view : shard_views) view.merge(shard_view);
+  // Every feeder announces its best path to every destination; the visible
+  // link set is what survives best-path selection.
+  obs::count("routing.public_view.announcements",
+             feeders.size() * destinations.size());
+  obs::count("routing.public_view.collections");
+  obs::gauge_set("routing.public_view.visible_links",
+                 static_cast<std::int64_t>(view.link_count()));
   return view;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace itm::scan {
 
 CacheProber::CacheProber(const dns::DnsSystem& dns,
@@ -56,6 +59,7 @@ CacheProber::PrefixOutcome CacheProber::probe_prefix(
 }
 
 void CacheProber::sweep(std::span<const Ipv4Prefix> prefixes, SimTime now) {
+  ITM_SPAN_AT("scan.cache_probe.sweep", now);
   const std::uint64_t sweep_index = sweep_index_++;
   SweepRecord* record = nullptr;
   if (config_.record_sweeps) {
@@ -72,14 +76,20 @@ void CacheProber::sweep(std::span<const Ipv4Prefix> prefixes, SimTime now) {
       prefixes.size(), [this, prefixes, now, sweep_index](std::size_t i) {
         return probe_prefix(prefixes[i], now, sweep_index);
       });
+  std::uint64_t sweep_probes = 0;
+  std::uint64_t sweep_hits = 0;
+  std::uint64_t discovered = 0;
   for (std::size_t i = 0; i < prefixes.size(); ++i) {
     const Ipv4Prefix& prefix = prefixes[i];
     const PrefixOutcome& outcome = outcomes[i];
     PrefixStats& stats = results_[prefix];
+    if (stats.hits == 0 && outcome.hits > 0) ++discovered;
     stats.hits += outcome.hits;
     stats.probes += outcome.probes;
     stats.pops_seen |= outcome.pops_seen;
     total_probes_ += outcome.probes;
+    sweep_probes += outcome.probes;
+    sweep_hits += outcome.hits;
     if (record != nullptr) {
       if (const auto asn = plan_->origin_of(prefix)) {
         auto& [hits, probes] = record->by_as[asn->value()];
@@ -88,6 +98,13 @@ void CacheProber::sweep(std::span<const Ipv4Prefix> prefixes, SimTime now) {
       }
     }
   }
+  // Batched per sweep: probes *sent* (lost ones included — the measurer
+  // paid for them), hits observed, and prefixes newly seen for the first
+  // time. All pure event counts, identical for every thread count.
+  obs::count("scan.cache_probe.sweeps");
+  obs::count("scan.cache_probe.probes_sent", sweep_probes);
+  obs::count("scan.cache_probe.hits", sweep_hits);
+  obs::count("scan.cache_probe.prefixes_discovered", discovered);
 }
 
 std::vector<Ipv4Prefix> CacheProber::detected_prefixes() const {

@@ -1,22 +1,41 @@
 #include "scan/ecs_mapper.h"
 
+#include "dns/cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace itm::scan {
+
+namespace {
+
+// ECS scope-length buckets: 0 (global/no scope) up to the /32 maximum.
+constexpr std::uint64_t kScopeLengthBounds[] = {0, 8, 16, 24, 32};
+
+}  // namespace
 
 std::unordered_map<Ipv4Prefix, Ipv4Addr> EcsMapper::sweep(
     const cdn::Service& service, std::span<const Ipv4Prefix> prefixes,
     net::Executor& executor) const {
+  ITM_SPAN("scan.ecs.sweep");
   // Each ECS query is an independent read of the authoritative server;
   // answers land in per-index slots, then insert in prefix order.
-  const auto answers = executor.parallel_map<Ipv4Addr>(
+  const auto answers = executor.parallel_map<dns::AuthoritativeAnswer>(
       prefixes.size(), [this, &service, prefixes](std::size_t i) {
-        return authoritative_->answer(service, prefixes[i], vantage_city_)
-            .address;
+        return authoritative_->answer(service, prefixes[i], vantage_city_);
       });
   std::unordered_map<Ipv4Prefix, Ipv4Addr> out;
   out.reserve(prefixes.size());
+  obs::Histogram& scope_lengths = obs::metrics().histogram(
+      "scan.ecs.scope_length", kScopeLengthBounds);
   for (std::size_t i = 0; i < prefixes.size(); ++i) {
-    out.emplace(prefixes[i], answers[i]);
+    out.emplace(prefixes[i], answers[i].address);
+    // The authoritative echoes either a /24 scope (ECS honored) or the
+    // global scope (query answered by resolver location alone).
+    scope_lengths.observe(
+        answers[i].cache_scope == dns::DnsCache::kGlobalScope ? 0 : 24);
   }
+  obs::count("scan.ecs.queries", prefixes.size());
+  obs::count("scan.ecs.sweeps");
   return out;
 }
 

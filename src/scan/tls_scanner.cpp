@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace itm::scan {
 
 std::vector<const DiscoveredEndpoint*> TlsScanResult::operated_by(
@@ -15,6 +18,7 @@ std::vector<const DiscoveredEndpoint*> TlsScanResult::operated_by(
 
 TlsScanResult TlsScanner::sweep(std::span<const std::string> operator_names,
                                 net::Executor& executor) const {
+  ITM_SPAN("scan.tls.sweep");
   TlsScanResult result;
   // Scanning every address of every routable /24 is the simulation analogue
   // of a full IPv4 TLS sweep. Listening endpoints are sparse, so we walk the
@@ -82,12 +86,20 @@ TlsScanResult TlsScanner::sweep(std::span<const std::string> operator_names,
     }
     operator_home[op] = best_asn;
   }
+  std::uint64_t matched = 0;
+  std::uint64_t offnet = 0;
   for (auto& ep : result.endpoints) {
     if (!ep.inferred_operator.empty()) {
+      ++matched;
       ep.inferred_offnet =
           ep.origin_as.value() != operator_home[ep.inferred_operator];
+      if (ep.inferred_offnet) ++offnet;
     }
   }
+  obs::count("scan.tls.handshakes_attempted", result.addresses_probed);
+  obs::count("scan.tls.endpoints_listening", result.endpoints.size());
+  obs::count("scan.tls.certs_matched", matched);
+  obs::count("scan.tls.offnets_inferred", offnet);
   return result;
 }
 

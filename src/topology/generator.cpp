@@ -8,6 +8,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace itm::topology {
 
 namespace {
@@ -138,6 +141,7 @@ std::vector<Asn> Topology::accesses_in(CountryId country) const {
 }
 
 Topology generate_topology(const TopologyConfig& config, Rng& rng) {
+  ITM_SPAN("topology.generate");
   Topology topo;
   topo.geography = Geography::generate(config.geography, rng);
   const Geography& geo = topo.geography;
@@ -510,6 +514,18 @@ Topology generate_topology(const TopologyConfig& config, Rng& rng) {
   }
 
   topo.addresses = AddressPlan::build(graph, config.addressing);
+
+  // Inventory gauges: seed-deterministic, idempotent across regenerations
+  // within one registry scope.
+  obs::gauge_set("topology.ases", static_cast<std::int64_t>(graph.size()));
+  obs::gauge_set("topology.links",
+                 static_cast<std::int64_t>(graph.links().size()));
+  obs::gauge_set("topology.ixps", static_cast<std::int64_t>(topo.ixps.size()));
+  obs::gauge_set("topology.facilities",
+                 static_cast<std::int64_t>(geo.facilities().size()));
+  obs::gauge_set("topology.routable_slash24s",
+                 static_cast<std::int64_t>(
+                     topo.addresses.total_slash24_count()));
   return topo;
 }
 

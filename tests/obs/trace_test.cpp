@@ -1,0 +1,219 @@
+// Tracer/Span: durations, nesting depth and containment, the Chrome
+// trace-event export (valid JSON, correct fields), and total_seconds — the
+// aggregation MapBuildTimings is a view over.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace itm::obs {
+namespace {
+
+void spin_for_at_least(std::chrono::microseconds d) {
+  const auto end = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(Span, RecordsNameAndDuration) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    Span span("work");
+    spin_for_at_least(std::chrono::microseconds(200));
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].duration_ns, 200'000u);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_FALSE(events[0].sim_at.has_value());
+}
+
+TEST(Span, CloseReturnsSecondsOnceAndIdempotently) {
+  Tracer tracer;
+  ScopedTracer scope(tracer);
+  Span span("once");
+  spin_for_at_least(std::chrono::microseconds(100));
+  const double first = span.close();
+  EXPECT_GT(first, 0.0);
+  EXPECT_EQ(span.close(), 0.0);  // already closed
+  EXPECT_EQ(tracer.span_count(), 1u);
+}
+
+TEST(Span, NestsWithDepthAndContainment) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    Span outer("outer");
+    {
+      Span inner("inner");
+      spin_for_at_least(std::chrono::microseconds(100));
+    }
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // events() sorts by start time: outer opened first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  // The inner span must lie within the outer span's interval.
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_LE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+}
+
+TEST(Span, CarriesSimulatedTime) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    ITM_SPAN_AT("sweep", SimTime(3600));
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].sim_at.has_value());
+  EXPECT_EQ(*events[0].sim_at, SimTime(3600));
+}
+
+TEST(Tracer, TotalSecondsAggregatesByName) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    for (int i = 0; i < 3; ++i) {
+      Span span("repeated");
+      spin_for_at_least(std::chrono::microseconds(100));
+    }
+    Span other("other");
+  }
+  EXPECT_GE(tracer.total_seconds("repeated"), 300e-6);
+  EXPECT_EQ(tracer.total_seconds("absent"), 0.0);
+  EXPECT_EQ(tracer.span_count(), 4u);
+}
+
+TEST(Tracer, SpansFromOtherThreadsGetDistinctTids) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    Span main_span("main");
+    std::thread worker([] { Span span("worker"); });
+    worker.join();
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+// A minimal JSON well-formedness walker — enough to prove the Chrome trace
+// export parses (balanced containers, quoted strings, no trailing commas).
+bool json_parses(const std::string& text) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                               text[i] == '\t' || text[i] == '\r')) {
+      ++i;
+    }
+  };
+  // NOLINTNEXTLINE(misc-no-recursion)
+  const auto parse_value = [&](const auto& self) -> bool {
+    skip_ws();
+    if (i >= text.size()) return false;
+    const char c = text[i];
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == close) {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {  // key
+          skip_ws();
+          if (i >= text.size() || text[i] != '"') return false;
+          for (++i; i < text.size() && text[i] != '"'; ++i) {
+          }
+          if (i++ >= text.size()) return false;
+          skip_ws();
+          if (i >= text.size() || text[i++] != ':') return false;
+        }
+        if (!self(self)) return false;
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (i >= text.size() || text[i] != close) return false;
+      ++i;
+      return true;
+    }
+    if (c == '"') {
+      for (++i; i < text.size() && text[i] != '"'; ++i) {
+      }
+      if (i >= text.size()) return false;
+      ++i;
+      return true;
+    }
+    // number / true / false / null
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+           text[i] != ']' && text[i] != ' ' && text[i] != '\n') {
+      ++i;
+    }
+    return i > start;
+  };
+  if (!parse_value(parse_value)) return false;
+  skip_ws();
+  return i == text.size();
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJsonWithExpectedFields) {
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    Span outer("stage");
+    { ITM_SPAN_AT("stage.sweep", SimTime(60)); }
+  }
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string trace = os.str();
+  EXPECT_TRUE(json_parses(trace)) << trace;
+  EXPECT_NE(trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\": \"stage.sweep\""), std::string::npos);
+  EXPECT_NE(trace.find("\"sim_time\": 60"), std::string::npos);
+  EXPECT_NE(trace.find("\"depth\": 1"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceIsStillValidJson) {
+  Tracer tracer;
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  EXPECT_TRUE(json_parses(os.str())) << os.str();
+}
+
+TEST(ScopedTracer, SpanUsesTracerCurrentAtConstruction) {
+  Tracer a;
+  Tracer b;
+  ScopedTracer scope_a(a);
+  Span span("landed-in-a");
+  {
+    // Installing another tracer after the span opened must not steal it.
+    ScopedTracer scope_b(b);
+  }
+  span.close();
+  EXPECT_EQ(a.span_count(), 1u);
+  EXPECT_EQ(b.span_count(), 0u);
+}
+
+}  // namespace
+}  // namespace itm::obs

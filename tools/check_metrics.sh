@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The metrics-determinism gate: builds the toolkit, runs `itm map` with
+# different thread counts, and diffs the deterministic metrics exports —
+# they must be byte-identical (DESIGN.md decision #7). Then runs the
+# metrics-labeled ctest subset for the full sweep.
+#
+# Usage: tools/check_metrics.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target itm
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+"$BUILD_DIR/tools/itm" map --scale tiny --seed 11 --threads 1 \
+    --metrics-out "$SCRATCH/metrics_t1.json" \
+    --trace-out "$SCRATCH/trace_t1.json" >/dev/null
+"$BUILD_DIR/tools/itm" map --scale tiny --seed 11 --threads 8 \
+    --metrics-out "$SCRATCH/metrics_t8.json" \
+    --trace-out "$SCRATCH/trace_t8.json" >/dev/null
+
+if ! diff -u "$SCRATCH/metrics_t1.json" "$SCRATCH/metrics_t8.json"; then
+  echo "FAIL: metrics export differs between --threads 1 and --threads 8" >&2
+  exit 1
+fi
+echo "metrics export byte-identical across thread counts"
+
+ctest --test-dir "$BUILD_DIR" -L metrics --output-on-failure -j"$(nproc)"

@@ -1,0 +1,37 @@
+# Verifies the CLI's distinct exit codes: 2 = bad usage, 3 = unknown
+# subcommand, 4 = runtime error (see the header comment in itm_cli.cpp).
+execute_process(COMMAND ${ITM_BIN} RESULT_VARIABLE rc_noargs
+                ERROR_VARIABLE err_noargs OUTPUT_VARIABLE out_noargs)
+if(NOT rc_noargs EQUAL 2)
+  message(FATAL_ERROR "no-args exit was ${rc_noargs}, want 2")
+endif()
+if(NOT err_noargs MATCHES "usage:")
+  message(FATAL_ERROR "no-args usage must go to stderr, got: ${out_noargs}")
+endif()
+
+execute_process(COMMAND ${ITM_BIN} frobnicate RESULT_VARIABLE rc_unknown
+                ERROR_VARIABLE err_unknown)
+if(NOT rc_unknown EQUAL 3)
+  message(FATAL_ERROR "unknown-command exit was ${rc_unknown}, want 3")
+endif()
+if(NOT err_unknown MATCHES "unknown command")
+  message(FATAL_ERROR "unknown-command diagnostic missing from stderr")
+endif()
+
+execute_process(COMMAND ${ITM_BIN} generate --no-such-flag
+                RESULT_VARIABLE rc_flag ERROR_VARIABLE err_flag)
+if(NOT rc_flag EQUAL 2)
+  message(FATAL_ERROR "unknown-flag exit was ${rc_flag}, want 2")
+endif()
+
+execute_process(COMMAND ${ITM_BIN} path --scale tiny
+                RESULT_VARIABLE rc_operand ERROR_VARIABLE err_operand)
+if(NOT rc_operand EQUAL 2)
+  message(FATAL_ERROR "missing-operand exit was ${rc_operand}, want 2")
+endif()
+
+execute_process(COMMAND ${ITM_BIN} path NoSuchAS AlsoMissing --scale tiny
+                RESULT_VARIABLE rc_runtime ERROR_VARIABLE err_runtime)
+if(NOT rc_runtime EQUAL 4)
+  message(FATAL_ERROR "runtime-error exit was ${rc_runtime}, want 4")
+endif()

@@ -3,10 +3,14 @@
 //   itm generate [--seed N] [--scale tiny|default|large]
 //       Generate a synthetic Internet and print its inventory.
 //   itm map [--seed N] [--scale S] [--threads N] [--json FILE] [--csv PREFIX]
+//           [--metrics-out FILE] [--trace-out FILE] [--verbose]
 //       Build the traffic map from public-data measurements; optionally
 //       export JSON and/or CSV artifacts. --threads shards the scan and
 //       routing stages (0 = hardware concurrency, 1 = serial); the map is
-//       byte-identical for every thread count.
+//       byte-identical for every thread count. --metrics-out writes the
+//       deterministic pipeline metrics (also byte-identical across thread
+//       counts); --trace-out writes a Chrome trace-event JSON loadable in
+//       Perfetto; --verbose prints per-stage progress to stderr.
 //   itm outage <as-name> [--seed N] [--scale S]
 //       Map-based outage estimate plus ground-truth what-if simulation.
 //   itm path <src-as> <dst-as> [--seed N] [--scale S]
@@ -18,6 +22,11 @@
 //   itm rel-path <file> <asn-a> <asn-b>
 //       Load an external as-rel file (e.g. CAIDA serial-1) and print the
 //       Gao-Rexford best path between two ASNs.
+//   itm version
+//       Print build information (compiler, build type, sanitizer flags).
+//
+// Exit codes: 0 success, 2 bad usage (missing operand/value, unknown flag),
+// 3 unknown subcommand, 4 runtime error (unknown AS, unreadable file).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -29,6 +38,8 @@
 #include "core/scenario.h"
 #include "core/traffic_map.h"
 #include "core/whatif.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/serialization.h"
 #include "routing/bgp.h"
 #include "scan/traceroute.h"
@@ -36,6 +47,11 @@
 namespace {
 
 using namespace itm;
+
+// Distinct exit codes so scripts can tell misuse from a missing input.
+constexpr int kExitUsage = 2;           // bad usage: operands/values/flags
+constexpr int kExitUnknownCommand = 3;  // no such subcommand
+constexpr int kExitRuntime = 4;         // valid usage, failed to execute
 
 struct CliOptions {
   std::uint64_t seed = 42;
@@ -45,6 +61,9 @@ struct CliOptions {
   std::size_t threads = 0;
   std::optional<std::string> json_path;
   std::optional<std::string> csv_prefix;
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> trace_path;
+  bool verbose = false;
   std::vector<std::string> positional;
 };
 
@@ -55,7 +74,7 @@ CliOptions parse(int argc, char** argv, int first) {
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         std::cerr << "missing value for " << arg << "\n";
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -69,6 +88,15 @@ CliOptions parse(int argc, char** argv, int first) {
       options.json_path = next();
     } else if (arg == "--csv") {
       options.csv_prefix = next();
+    } else if (arg == "--metrics-out") {
+      options.metrics_path = next();
+    } else if (arg == "--trace-out") {
+      options.trace_path = next();
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      std::exit(kExitUsage);
     } else {
       options.positional.push_back(arg);
     }
@@ -121,10 +149,23 @@ int cmd_generate(const CliOptions& options) {
 }
 
 int cmd_map(const CliOptions& options) {
+  // One registry + tracer per invocation, current for scenario generation
+  // and the build, so topology metrics and every stage span land in the
+  // exported artifacts.
+  obs::MetricsRegistry registry;
+  obs::Tracer trace;
+  const obs::ScopedMetrics metrics_scope(registry);
+  const obs::ScopedTracer trace_scope(trace);
+
   auto scenario = make_scenario(options);
   core::MapBuilder builder(*scenario);
   core::MapBuildOptions build_options;
   build_options.threads = options.threads;
+  if (options.verbose) {
+    build_options.on_stage = [](const char* stage) {
+      std::cerr << "[itm] stage " << stage << "...\n";
+    };
+  }
   std::cerr << "building the traffic map...\n";
   const auto map = builder.build(build_options);
   const auto& timings = builder.last_timings();
@@ -159,25 +200,44 @@ int cmd_map(const CliOptions& options) {
     write("_servers.csv", core::export_servers_csv);
     write("_links.csv", core::export_recommended_links_csv);
   }
+  if (options.metrics_path) {
+    // Deterministic section only: this artifact is byte-identical for every
+    // --threads value (tools/check_metrics.sh gates on it). Wall-time data
+    // belongs in the trace.
+    std::ofstream out(*options.metrics_path);
+    registry.write_json(out,
+                        obs::MetricsRegistry::Export::kDeterministicOnly);
+    std::cout << "wrote " << *options.metrics_path << "\n";
+  }
+  if (options.trace_path) {
+    std::ofstream out(*options.trace_path);
+    trace.write_chrome_trace(out);
+    std::cout << "wrote " << *options.trace_path
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (options.verbose) {
+    std::cerr << "[itm] metrics:\n";
+    registry.write_text(std::cerr);
+  }
   return 0;
 }
 
 int cmd_outage(const CliOptions& options) {
   if (options.positional.empty()) {
     std::cerr << "usage: itm outage <as-name>\n";
-    return 2;
+    return kExitUsage;
   }
   auto scenario = make_scenario(options);
   const auto failed = find_as(*scenario, options.positional[0]);
   if (!failed) {
     std::cerr << "unknown AS '" << options.positional[0] << "'\n";
-    return 2;
+    return kExitRuntime;
   }
   if (scenario->topo().graph.info(*failed).type ==
       topology::AsType::kHypergiant) {
     std::cerr << "cannot simulate failing a hypergiant (its services would "
                  "have no serving sites)\n";
-    return 2;
+    return kExitRuntime;
   }
   core::MapBuilder builder(*scenario);
   core::MapBuildOptions build_options;
@@ -210,14 +270,14 @@ int cmd_outage(const CliOptions& options) {
 int cmd_path(const CliOptions& options) {
   if (options.positional.size() < 2) {
     std::cerr << "usage: itm path <src-as> <dst-as>\n";
-    return 2;
+    return kExitUsage;
   }
   auto scenario = make_scenario(options);
   const auto src = find_as(*scenario, options.positional[0]);
   const auto dst = find_as(*scenario, options.positional[1]);
   if (!src || !dst) {
     std::cerr << "unknown AS name\n";
-    return 2;
+    return kExitRuntime;
   }
   const routing::Bgp bgp(scenario->topo().graph);
   const auto table = bgp.routes_to(*dst);
@@ -264,7 +324,7 @@ int cmd_top(const CliOptions& options) {
 int cmd_rel_export(const CliOptions& options) {
   if (options.positional.empty()) {
     std::cerr << "usage: itm rel-export <file>\n";
-    return 2;
+    return kExitUsage;
   }
   auto scenario = make_scenario(options);
   std::ofstream out(options.positional[0]);
@@ -277,18 +337,18 @@ int cmd_rel_export(const CliOptions& options) {
 int cmd_rel_path(const CliOptions& options) {
   if (options.positional.size() < 3) {
     std::cerr << "usage: itm rel-path <file> <asn-a> <asn-b>\n";
-    return 2;
+    return kExitUsage;
   }
   std::ifstream in(options.positional[0]);
   if (!in) {
     std::cerr << "cannot open " << options.positional[0] << "\n";
-    return 2;
+    return kExitRuntime;
   }
   topology::AsGraph graph;
   if (const auto error = topology::read_as_rel(in, graph)) {
     std::cerr << options.positional[0] << ":" << error->line << ": "
               << error->message << "\n";
-    return 2;
+    return kExitRuntime;
   }
   const auto resolve = [&](const std::string& asn) -> std::optional<Asn> {
     for (const auto& as : graph.ases()) {
@@ -300,7 +360,7 @@ int cmd_rel_path(const CliOptions& options) {
   const auto dst = resolve(options.positional[2]);
   if (!src || !dst) {
     std::cerr << "ASN not present in the file\n";
-    return 2;
+    return kExitRuntime;
   }
   std::cout << "loaded " << graph.size() << " ASes, "
             << graph.links().size() << " links\n";
@@ -319,12 +379,38 @@ int cmd_rel_path(const CliOptions& options) {
   return 0;
 }
 
+// Build information baked in by tools/CMakeLists.txt; the fallbacks keep
+// non-CMake builds (e.g. IDE single-file checks) compiling.
+#ifndef ITM_COMPILER_INFO
+#define ITM_COMPILER_INFO "unknown"
+#endif
+#ifndef ITM_BUILD_TYPE
+#define ITM_BUILD_TYPE "unknown"
+#endif
+#ifndef ITM_SANITIZE_INFO
+#define ITM_SANITIZE_INFO ""
+#endif
+
+int cmd_version() {
+  std::cout << "itm — Internet traffic map toolkit\n"
+            << "compiler: " << ITM_COMPILER_INFO << "\n"
+            << "build type: " << ITM_BUILD_TYPE << "\n"
+            << "sanitizer: "
+            << (std::strlen(ITM_SANITIZE_INFO) > 0 ? ITM_SANITIZE_INFO
+                                                   : "none")
+            << "\n"
+            << "c++ standard: " << __cplusplus << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: itm <generate|map|outage|path|top> [options]\n";
-    return 2;
+    std::cerr << "usage: itm "
+                 "<generate|map|outage|path|top|rel-export|rel-path|version> "
+                 "[options]\n";
+    return kExitUsage;
   }
   const std::string command = argv[1];
   const CliOptions options = parse(argc, argv, 2);
@@ -335,6 +421,7 @@ int main(int argc, char** argv) {
   if (command == "top") return cmd_top(options);
   if (command == "rel-export") return cmd_rel_export(options);
   if (command == "rel-path") return cmd_rel_path(options);
+  if (command == "version") return cmd_version();
   std::cerr << "unknown command '" << command << "'\n";
-  return 2;
+  return kExitUnknownCommand;
 }

@@ -1,0 +1,35 @@
+# The deterministic-metrics gate: `itm map --metrics-out` must write
+# byte-identical JSON for every thread count (DESIGN.md decision #7). Wall
+# time lives in the trace file, which is only sanity-checked, never diffed.
+foreach(threads 1 4 8)
+  execute_process(COMMAND ${ITM_BIN} map --scale tiny --seed 7
+                          --threads ${threads}
+                          --metrics-out ${WORK_DIR}/metrics_t${threads}.json
+                          --trace-out ${WORK_DIR}/trace_t${threads}.json
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "itm map --threads ${threads} failed: ${err}")
+  endif()
+endforeach()
+
+foreach(threads 4 8)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          ${WORK_DIR}/metrics_t1.json
+                          ${WORK_DIR}/metrics_t${threads}.json
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "metrics JSON differs between --threads 1 and --threads "
+            "${threads}; deterministic metrics must be thread-count "
+            "independent")
+  endif()
+endforeach()
+
+# The trace must be valid-looking Chrome trace JSON with the stage spans.
+file(READ ${WORK_DIR}/trace_t4.json trace)
+if(NOT trace MATCHES "traceEvents")
+  message(FATAL_ERROR "trace output missing traceEvents array")
+endif()
+if(NOT trace MATCHES "map.workload_probe" OR NOT trace MATCHES "map.inference")
+  message(FATAL_ERROR "trace output missing pipeline stage spans")
+endif()
