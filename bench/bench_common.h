@@ -28,15 +28,19 @@ namespace itm::bench {
 // Wall-clock stopwatch for per-stage timing and speedup reporting.
 class WallTimer {
  public:
+  // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
   void reset() { start_ = std::chrono::steady_clock::now(); }
   [[nodiscard]] double seconds() const {
+    // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
         .count();
   }
 
  private:
+  // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -64,6 +68,7 @@ inline void report_stage_timings(const core::MapBuildTimings& t) {
 // to $ITM_BENCH_METRICS_DIR/<bench_name>.metrics.json; no-op when the env
 // var is unset. Call once per bench run, after the measured work.
 inline void dump_metrics_snapshot(const char* bench_name) {
+  // itm-lint: allow(banned-nondet-sources) -- bench harness opt-in, not a stage
   const char* dir = std::getenv("ITM_BENCH_METRICS_DIR");
   if (dir == nullptr || *dir == '\0') return;
   const std::string path =

@@ -5,6 +5,7 @@
 #include "bench_common.h"
 #include "inference/activity.h"
 #include "inference/client_detection.h"
+#include "net/ordered.h"
 
 int main(int argc, char** argv) {
   using namespace itm;
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
   const auto assoc_est = inference::activity_from_root_logs_with_associations(
       scenario->dns(), scenario->topo().addresses);
   std::vector<Asn> assoc_ases;
-  for (const auto& [asn, score] : assoc_est.by_as) {
+  for (const auto& [asn, score] : itm::net::sorted_items(assoc_est.by_as)) {
     if (score >= 1.0) assoc_ases.push_back(Asn(asn));
   }
   const auto assoc_cov = inference::evaluate_ases(

@@ -13,6 +13,7 @@
 #include "inference/client_detection.h"
 #include "inference/geolocation.h"
 #include "inference/mapping_eval.h"
+#include "net/ordered.h"
 #include "net/stats.h"
 
 int main(int argc, char** argv) {
@@ -65,7 +66,10 @@ int main(int argc, char** argv) {
     if (ep == nullptr) return std::nullopt;
     return ep->city;
   };
-  for (const auto& [sid, sweep] : map.user_mapping) {
+  // Service-id-sorted: the mapped_* sums are float accumulations whose
+  // order must not follow hash layout (itm-lint: nondet-iteration).
+  for (const auto sid : itm::net::sorted_keys(map.user_mapping)) {
+    const auto& sweep = map.user_mapping.at(sid);
     const auto& svc = scenario->catalog().service(ServiceId(sid));
     const auto prefixes = scenario->users().all();
     for (const auto& up : prefixes) {

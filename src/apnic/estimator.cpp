@@ -1,5 +1,7 @@
 #include "apnic/estimator.h"
 
+#include "net/ordered.h"
+
 namespace itm::apnic {
 
 ApnicEstimates ApnicEstimates::build(const topology::Topology& topo,
@@ -29,7 +31,9 @@ double ApnicEstimates::users(Asn asn) const {
 double ApnicEstimates::country_users(const topology::Topology& topo,
                                      CountryId country) const {
   double total = 0;
-  for (const auto& [asn, estimate] : by_as_) {
+  // Key-sorted iteration: float accumulation order must not depend on hash
+  // layout (itm-lint: nondet-iteration).
+  for (const auto& [asn, estimate] : net::sorted_items(by_as_)) {
     if (topo.graph.info(Asn(asn)).country == country) total += estimate;
   }
   return total;

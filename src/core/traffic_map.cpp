@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/executor.h"
+#include "net/ordered.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scan/ecs_mapper.h"
@@ -11,7 +12,11 @@ namespace itm::core {
 
 double TrafficMap::total_activity() const {
   double total = 0;
-  for (const auto& [asn, score] : activity.by_as) total += score;
+  // Key-sorted iteration: float accumulation order must not depend on hash
+  // layout (itm-lint: nondet-iteration).
+  for (const auto& [asn, score] : net::sorted_items(activity.by_as)) {
+    total += score;
+  }
   return total;
 }
 
@@ -165,10 +170,13 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
     obs::gauge_set("map.services_mapped", static_cast<std::int64_t>(mapped));
     timings_.ecs_map_s = span.close();
   }
+  // Service-id-sorted sweep list: geolocation appends client points per
+  // server in sweep order, and the geometric median is a float computation
+  // whose result depends on that order (itm-lint: nondet-iteration).
   std::vector<const std::unordered_map<Ipv4Prefix, Ipv4Addr>*> sweeps;
   sweeps.reserve(map.user_mapping.size());
-  for (const auto& [sid, sweep] : map.user_mapping) {
-    sweeps.push_back(&sweep);
+  for (const auto sid : net::sorted_keys(map.user_mapping)) {
+    sweeps.push_back(&map.user_mapping.at(sid));
   }
   // Client-side geolocation database: AS home city (public-geo accuracy).
   const auto& topo = s.topo();

@@ -28,7 +28,7 @@ class DnsCache {
 
   void insert(ServiceId service, std::uint32_t scope, Ipv4Addr answer,
               SimTime expiry) {
-    entries_[key(service, scope)] = Entry{answer, expiry};
+    slots_[key(service, scope)] = Entry{answer, expiry};
   }
 
   // Why the probe missed: no entry at all vs. an entry that outlived its
@@ -39,8 +39,8 @@ class DnsCache {
   [[nodiscard]] std::optional<Ipv4Addr> lookup(
       ServiceId service, std::uint32_t scope, SimTime now,
       LookupOutcome* outcome = nullptr) const {
-    const auto it = entries_.find(key(service, scope));
-    if (it == entries_.end()) {
+    const auto it = slots_.find(key(service, scope));
+    if (it == slots_.end()) {
       if (outcome != nullptr) *outcome = LookupOutcome::kMiss;
       return std::nullopt;
     }
@@ -56,10 +56,10 @@ class DnsCache {
   // number evicted.
   std::size_t purge(SimTime now) {
     return std::erase_if(
-        entries_, [now](const auto& kv) { return kv.second.expiry <= now; });
+        slots_, [now](const auto& kv) { return kv.second.expiry <= now; });
   }
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
 
  private:
   struct Entry {
@@ -71,7 +71,7 @@ class DnsCache {
     return (std::uint64_t{service.value()} << 24) | scope;
   }
 
-  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::uint64_t, Entry> slots_;
 };
 
 }  // namespace itm::dns

@@ -1,5 +1,7 @@
 #include "dns/root.h"
 
+#include "net/ordered.h"
+
 namespace itm::dns {
 
 void RootSystem::record(Ipv4Addr resolver, std::uint64_t count, Rng& rng) {
@@ -23,7 +25,7 @@ std::unordered_map<Ipv4Addr, std::uint64_t> RootSystem::crawl() const {
   std::unordered_map<Ipv4Addr, std::uint64_t> out;
   for (std::size_t i = 0; i < letter_logs_.size(); ++i) {
     if (!letter_usable_[i]) continue;
-    for (const auto& [resolver, count] : letter_logs_[i]) {
+    for (const auto& [resolver, count] : net::sorted_items(letter_logs_[i])) {
       out[resolver] += count;
     }
   }

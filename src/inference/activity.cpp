@@ -2,7 +2,13 @@
 
 #include <cmath>
 
+#include "net/ordered.h"
+
 namespace itm::inference {
+
+// Float accumulation below iterates key-sorted snapshots throughout: the
+// estimates feed ranked outputs, and summation order must be a function of
+// the data, not of hash layout (itm-lint: nondet-iteration).
 
 ActivityEstimate activity_from_cache_hits(const scan::CacheProber& prober,
                                           const topology::AddressPlan& plan) {
@@ -10,7 +16,7 @@ ActivityEstimate activity_from_cache_hits(const scan::CacheProber& prober,
   // Zero-hit ASes carry no signal (every probed AS would otherwise appear
   // with rate 0, and a hard zero would annihilate other signals in the
   // geometric-mean combination).
-  for (const auto& [asn, rate] : prober.hit_rate_by_as(plan)) {
+  for (const auto& [asn, rate] : net::sorted_items(prober.hit_rate_by_as(plan))) {
     if (rate > 0) est.by_as.emplace(asn, rate);
   }
   return est;
@@ -18,7 +24,7 @@ ActivityEstimate activity_from_cache_hits(const scan::CacheProber& prober,
 
 ActivityEstimate activity_from_root_logs(const scan::RootCrawlResult& crawl) {
   ActivityEstimate est;
-  for (const auto& [asn, count] : crawl.queries_by_as) {
+  for (const auto& [asn, count] : net::sorted_items(crawl.queries_by_as)) {
     est.by_as.emplace(asn, static_cast<double>(count));
   }
   return est;
@@ -28,14 +34,16 @@ ActivityEstimate activity_from_root_logs_with_associations(
     const dns::DnsSystem& dns, const topology::AddressPlan& plan) {
   ActivityEstimate est;
   const auto& associations = dns.resolver_associations();
-  for (const auto& [resolver, count] : dns.roots().crawl()) {
+  // Sorted resolvers and sorted association samples: several resolvers can
+  // redistribute weight onto the same AS, so the += order reaches by_as.
+  for (const auto& [resolver, count] : net::sorted_items(dns.roots().crawl())) {
     const auto assoc = associations.find(resolver);
     if (assoc != associations.end() && !assoc->second.empty()) {
       double total = 0;
-      for (const auto& [asn, samples] : assoc->second) {
+      for (const auto& [asn, samples] : net::sorted_items(assoc->second)) {
         total += static_cast<double>(samples);
       }
-      for (const auto& [asn, samples] : assoc->second) {
+      for (const auto& [asn, samples] : net::sorted_items(assoc->second)) {
         est.by_as[asn] += static_cast<double>(count) *
                           static_cast<double>(samples) / total;
       }
@@ -53,19 +61,21 @@ ActivityEstimate combine_activity(const ActivityEstimate& a,
   // neither scale dominates.
   const auto normalized = [](const ActivityEstimate& e) {
     double mean = 0;
-    for (const auto& [asn, v] : e.by_as) mean += v;
+    for (const auto& [asn, v] : net::sorted_items(e.by_as)) mean += v;
     mean = e.by_as.empty() ? 1.0 : mean / static_cast<double>(e.by_as.size());
     std::unordered_map<std::uint32_t, double> out;
-    for (const auto& [asn, v] : e.by_as) out.emplace(asn, v / mean);
+    for (const auto& [asn, v] : net::sorted_items(e.by_as)) {
+      out.emplace(asn, v / mean);
+    }
     return out;
   };
   const auto na = normalized(a);
   const auto nb = normalized(b);
-  for (const auto& [asn, v] : na) {
+  for (const auto& [asn, v] : net::sorted_items(na)) {
     const auto it = nb.find(asn);
     out.by_as[asn] = it == nb.end() ? v : std::sqrt(v * it->second);
   }
-  for (const auto& [asn, v] : nb) {
+  for (const auto& [asn, v] : net::sorted_items(nb)) {
     out.by_as.try_emplace(asn, v);
   }
   return out;

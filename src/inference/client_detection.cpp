@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/ordered.h"
+
 namespace itm::inference {
 
 ClientCoverage evaluate_prefixes(std::span<const Ipv4Prefix> detected,
@@ -99,7 +101,9 @@ std::vector<double> apnic_coverage_by_country(
   std::vector<double> covered(countries, 0.0), total(countries, 0.0);
   std::unordered_set<std::uint32_t> detected_set;
   for (const Asn a : detected) detected_set.insert(a.value());
-  for (const auto& [asn, estimate] : apnic.by_as()) {
+  // Key-sorted iteration: the per-country float sums must not depend on
+  // hash layout (itm-lint: nondet-iteration).
+  for (const auto& [asn, estimate] : net::sorted_items(apnic.by_as())) {
     const auto country = topo.graph.info(Asn(asn)).country.value();
     total[country] += estimate;
     if (detected_set.contains(asn)) covered[country] += estimate;

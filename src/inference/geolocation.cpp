@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/ordered.h"
+
 namespace itm::inference {
 
 namespace {
@@ -40,7 +42,9 @@ std::vector<GeolocatedServer> geolocate_servers(
     const PrefixLocator& locate) {
   std::unordered_map<Ipv4Addr, std::vector<GeoPoint>> clients_of;
   for (const auto* sweep : sweeps) {
-    for (const auto& [prefix, server] : *sweep) {
+    // Prefix-sorted: the Weiszfeld median below is a float iteration whose
+    // result depends on point order (itm-lint: nondet-iteration).
+    for (const auto& [prefix, server] : net::sorted_items(*sweep)) {
       if (const auto loc = locate(prefix)) {
         clients_of[server].push_back(*loc);
       }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "net/ordered.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -27,7 +28,10 @@ std::vector<std::pair<Asn, Asn>> colocated_pairs(
   }
   std::unordered_set<std::uint64_t> seen;
   std::vector<std::pair<Asn, Asn>> pairs;
-  for (const auto& [facility, list] : members) {
+  // Facility-sorted iteration: the pair order survives into the candidate
+  // list, where equal scores would otherwise tie-break by hash layout
+  // (itm-lint: nondet-iteration).
+  for (const auto& [facility, list] : net::sorted_items(members)) {
     (void)facility;
     for (std::size_t i = 0; i < list.size(); ++i) {
       for (std::size_t j = i + 1; j < list.size(); ++j) {
@@ -177,9 +181,12 @@ std::vector<LinkCandidate> PeeringRecommender::recommend(
     const double s = score(a, b);
     if (s > 0) candidates.push_back(LinkCandidate{a, b, s});
   }
+  // Ties broken on (a, b) so the top-k cut is fully deterministic.
   std::sort(candidates.begin(), candidates.end(),
             [](const LinkCandidate& x, const LinkCandidate& y) {
-              return x.score > y.score;
+              if (x.score != y.score) return x.score > y.score;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
             });
   if (candidates.size() > top_k) candidates.resize(top_k);
   obs::count("inference.recommender.pairs_scored", scored);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "net/ordered.h"
 #include "net/stats.h"
 
 namespace itm::inference {
@@ -13,7 +14,7 @@ TemporalActivity temporal_activity(const scan::CacheProber& prober) {
   out.sweep_times.reserve(records.size());
   for (const auto& record : records) out.sweep_times.push_back(record.at);
   for (std::size_t s = 0; s < records.size(); ++s) {
-    for (const auto& [asn, counts] : records[s].by_as) {
+    for (const auto& [asn, counts] : net::sorted_items(records[s].by_as)) {
       auto& series = out.series[asn];
       if (series.empty()) series.assign(records.size(), 0.0);
       series[s] = counts.second > 0
@@ -55,6 +56,9 @@ TemporalScore score_temporal(const TemporalActivity& activity,
     const auto* series = activity.series_of(asn);
     if (series == nullptr) continue;
     double mean = 0;
+    // `series` points at a std::vector (the name matches TemporalActivity's
+    // unordered member, but this is its ordered mapped value).
+    // itm-lint: allow(nondet-iteration)
     for (const double v : *series) mean += v;
     mean /= static_cast<double>(series->size());
     if (mean < min_mean_rate) continue;

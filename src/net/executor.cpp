@@ -29,7 +29,7 @@ std::atomic<std::int64_t> g_active_shards{0};
 // live here.
 class ShardTimer {
  public:
-  ShardTimer()
+  ShardTimer()  // itm-lint: allow(banned-nondet-sources) -- wall-clock-only metric
       : start_(std::chrono::steady_clock::now()),
         active_(g_active_shards.fetch_add(1, std::memory_order_relaxed) + 1) {
     obs::gauge_max("executor.active_shards_hwm", active_,
@@ -39,6 +39,7 @@ class ShardTimer {
     g_active_shards.fetch_sub(1, std::memory_order_relaxed);
     const auto micros =
         std::chrono::duration_cast<std::chrono::microseconds>(
+            // itm-lint: allow(banned-nondet-sources) -- wall-clock-only metric
             std::chrono::steady_clock::now() - start_)
             .count();
     obs::observe("executor.shard_micros", kShardMicrosBounds,
@@ -47,6 +48,7 @@ class ShardTimer {
   }
 
  private:
+  // itm-lint: allow(banned-nondet-sources) -- wall-clock-only metric
   std::chrono::steady_clock::time_point start_;
   std::int64_t active_;
 };

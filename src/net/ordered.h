@@ -1,0 +1,44 @@
+// Ordered snapshots of unordered containers.
+//
+// The repo's determinism contract (DESIGN.md decisions #6/#8) forbids
+// letting unordered_{map,set} iteration order reach outputs, merges or RNG
+// draws: that order is an accident of hash layout and insertion history.
+// These helpers are the sanctioned fix — take a key-sorted snapshot and
+// iterate that. itm-lint's nondet-iteration rule recognises a range-for
+// over `sorted_items(...)` / `sorted_keys(...)` as ordered.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace itm::net {
+
+// Key-sorted copy of a map's (key, value) pairs. Values are copied; use
+// sorted_keys + find for expensive mapped types.
+template <typename Map>
+[[nodiscard]] auto sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      out;
+  out.reserve(m.size());
+  for (const auto& [k, v] : m) out.emplace_back(k, v);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+// Sorted copy of a map's or set's keys.
+template <typename Container>
+[[nodiscard]] auto sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> out;
+  out.reserve(c.size());
+  if constexpr (requires { c.begin()->first; }) {
+    for (const auto& [k, v] : c) out.push_back(k);
+  } else {
+    for (const auto& k : c) out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace itm::net

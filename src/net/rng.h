@@ -21,6 +21,18 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
 
+  // Copying a generator to initialize a new stream (Rng local = parent;) is
+  // fine — the copy is a fresh value. Re-pointing an existing generator at
+  // another one's state (a = b;) is almost always a determinism bug: the
+  // idiom shows up when a shard tries to "reset" a shared generator instead
+  // of deriving its own stream with split(). Copy-assignment is therefore
+  // deleted; use split()/fork() to derive streams, or move-assign from an
+  // rvalue (rng = parent.split(i);), which stays allowed.
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
   void reseed(std::uint64_t seed);
 
   // Derives an independent child generator; use to give each subsystem its

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/ordered.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -118,7 +119,7 @@ std::vector<Ipv4Prefix> CacheProber::detected_prefixes() const {
 
 std::vector<std::size_t> CacheProber::prefixes_per_pop() const {
   std::vector<std::size_t> counts(dns_->public_pops().size(), 0);
-  for (const auto& [prefix, stats] : results_) {
+  for (const auto& [prefix, stats] : net::sorted_items(results_)) {
     for (std::size_t pop = 0; pop < counts.size() && pop < 64; ++pop) {
       if (stats.pops_seen & (std::uint64_t{1} << pop)) ++counts[pop];
     }
@@ -128,15 +129,18 @@ std::vector<std::size_t> CacheProber::prefixes_per_pop() const {
 
 std::unordered_map<std::uint32_t, double> CacheProber::hit_rate_by_as(
     const topology::AddressPlan& plan) const {
+  // Prefix-sorted accumulation: many prefixes fold into one AS, so the
+  // float += order would otherwise follow hash layout (itm-lint:
+  // nondet-iteration).
   std::unordered_map<std::uint32_t, double> hits, probes;
-  for (const auto& [prefix, stats] : results_) {
+  for (const auto& [prefix, stats] : net::sorted_items(results_)) {
     const auto asn = plan.origin_of(prefix);
     if (!asn) continue;
     hits[asn->value()] += stats.hits;
     probes[asn->value()] += stats.probes;
   }
   std::unordered_map<std::uint32_t, double> rate;
-  for (const auto& [asn, p] : probes) {
+  for (const auto& [asn, p] : net::sorted_items(probes)) {
     if (p > 0) rate[asn] = hits[asn] / p;
   }
   return rate;

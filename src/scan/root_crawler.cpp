@@ -1,11 +1,13 @@
 #include "scan/root_crawler.h"
 
+#include "net/ordered.h"
+
 namespace itm::scan {
 
 RootCrawlResult crawl_root_logs(const dns::DnsSystem& dns,
                                 const topology::AddressPlan& plan) {
   RootCrawlResult result;
-  for (const auto& [resolver, count] : dns.roots().crawl()) {
+  for (const auto& [resolver, count] : net::sorted_items(dns.roots().crawl())) {
     result.total_crawled += count;
     const auto asn = plan.origin_of(resolver);
     if (!asn) continue;

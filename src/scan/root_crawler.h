@@ -7,6 +7,7 @@
 // probing's (the paper's 60% vs 95%).
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@ struct RootCrawlResult {
     for (const auto& [asn, count] : queries_by_as) {
       if (count > 0) out.push_back(Asn(asn));
     }
+    std::sort(out.begin(), out.end());
     return out;
   }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/ordered.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -75,10 +76,10 @@ TlsScanResult TlsScanner::sweep(std::span<const std::string> operator_names,
     }
   }
   std::unordered_map<std::string, std::uint32_t> operator_home;
-  for (const auto& [op, origins] : operator_origins) {
+  for (const auto& [op, origins] : net::sorted_items(operator_origins)) {
     std::uint32_t best_asn = 0;
     int best = -1;
-    for (const auto& [asn, count] : origins) {
+    for (const auto& [asn, count] : net::sorted_items(origins)) {
       if (count > best || (count == best && asn < best_asn)) {
         best = count;
         best_asn = asn;

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "net/ordered.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -411,7 +412,10 @@ Topology generate_topology(const TopologyConfig& config, Rng& rng) {
     }
   }
   std::unordered_set<std::uint64_t> considered;
-  for (const auto& [facility, members] : facility_members) {
+  // Facility-sorted iteration: each candidate pair consumes rng.bernoulli
+  // draws, so the visit order decides which pairs see which draws
+  // (itm-lint: nondet-iteration).
+  for (const auto& [facility, members] : net::sorted_items(facility_members)) {
     (void)facility;
     for (std::size_t i = 0; i < members.size(); ++i) {
       for (std::size_t j = i + 1; j < members.size(); ++j) {

@@ -1,0 +1,21 @@
+// Fixture: every banned nondeterminism source in one file — <random>
+// machinery, std::rand, wall clocks, environment reads, pointer hashing.
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <random>
+
+unsigned roll() {
+  std::mt19937 gen(std::random_device{}());
+  return gen() + static_cast<unsigned>(std::rand());
+}
+
+long long now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* metrics_dir() { return std::getenv("ITM_METRICS_DIR"); }
+
+std::size_t ptr_key(const int* p) { return std::hash<const int*>{}(p); }

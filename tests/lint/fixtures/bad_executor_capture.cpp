@@ -1,0 +1,15 @@
+// Fixture: the capture sins inside an executor lambda — a default [&]
+// capture, a scalar += on shared state, and a container mutation.
+#include <cstddef>
+#include <vector>
+
+#include "net/executor.h"
+
+void tally(itm::net::Executor& exec, const std::vector<int>& xs) {
+  long total = 0;
+  std::vector<int> hits;
+  exec.parallel_for(xs.size(), [&](std::size_t i) {
+    total += xs[i];
+    hits.push_back(xs[i]);
+  });
+}

@@ -1,0 +1,15 @@
+// Fixture: a floating-point += into by-ref captured state inside an
+// executor lambda — float addition is not associative, so the total
+// depends on scheduling even if the race itself were benign.
+#include <cstddef>
+#include <vector>
+
+#include "net/executor.h"
+
+double sum(itm::net::Executor& exec, const std::vector<double>& xs) {
+  double total = 0;
+  exec.parallel_for(xs.size(), [&total, &xs](std::size_t i) {
+    total += xs[i];
+  });
+  return total;
+}

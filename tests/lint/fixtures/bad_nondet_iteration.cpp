@@ -1,0 +1,13 @@
+// Fixture: range-for directly over an unordered_map feeding a float sum —
+// the hash-layout-ordered accumulation itm-lint must flag.
+#include <string>
+#include <unordered_map>
+
+double total_bytes(const std::unordered_map<int, double>& by_as) {
+  double total = 0;
+  for (const auto& [asn, bytes] : by_as) {
+    (void)asn;
+    total += bytes;
+  }
+  return total;
+}

@@ -1,0 +1,13 @@
+// Fixture: a shared Rng consumed by reference inside an executor lambda —
+// draw order follows shard interleaving, so results depend on --threads.
+#include <cstddef>
+#include <vector>
+
+#include "net/executor.h"
+#include "net/rng.h"
+
+void fill(itm::net::Executor& exec, itm::Rng& rng, std::vector<double>& out) {
+  exec.parallel_for(out.size(), [&rng, &out](std::size_t i) {
+    out[i] = rng.uniform();
+  });
+}

@@ -1,0 +1,8 @@
+// Fixture: suppressions that excuse nothing — a stale allow on clean code
+// and an allow naming a rule that does not exist. Both must be errors so
+// suppressions cannot outlive the code they excused.
+// itm-lint: allow(nondet-iteration)
+int answer() { return 42; }
+
+// itm-lint: allow(no-such-rule)
+int other() { return 7; }

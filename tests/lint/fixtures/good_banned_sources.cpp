@@ -1,0 +1,17 @@
+// Fixture: the sanctioned patterns — all randomness through itm::Rng
+// streams derived from the scenario seed, ids hashed by value.
+#include <cstdint>
+#include <functional>
+
+#include "net/rng.h"
+
+double jitter(itm::Rng& gen) { return gen.uniform(0.0, 1.0); }
+
+std::uint64_t draw(const itm::Rng& parent, std::uint64_t item) {
+  itm::Rng local = parent.split(item);
+  return local.next_u64();
+}
+
+std::size_t id_key(std::uint32_t asn) {
+  return std::hash<std::uint32_t>{}(asn);
+}

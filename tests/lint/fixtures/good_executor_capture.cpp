@@ -1,0 +1,16 @@
+// Fixture: the sanctioned executor pattern — explicit captures and
+// per-index slot writes, merged serially after the parallel region.
+#include <cstddef>
+#include <vector>
+
+#include "net/executor.h"
+
+long tally(itm::net::Executor& exec, const std::vector<int>& xs) {
+  std::vector<long> per_item(xs.size(), 0);
+  exec.parallel_for(xs.size(), [&per_item, &xs](std::size_t i) {
+    per_item[i] = xs[i];
+  });
+  long total = 0;
+  for (const long v : per_item) total += v;
+  return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned float reduction — per-index partials written in
+// parallel, summed serially in index order afterwards.
+#include <cstddef>
+#include <vector>
+
+#include "net/executor.h"
+
+double sum(itm::net::Executor& exec, const std::vector<double>& xs) {
+  std::vector<double> partial(xs.size(), 0.0);
+  exec.parallel_for(xs.size(), [&partial, &xs](std::size_t i) {
+    partial[i] = xs[i] * 2.0;
+  });
+  double total = 0;
+  for (const double v : partial) total += v;
+  return total;
+}

@@ -1,0 +1,25 @@
+// Fixture: the two sanctioned ways to iterate an unordered container —
+// a key-sorted snapshot (net/ordered.h) and sort-what-the-loop-builds.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ordered.h"
+
+double total_bytes(const std::unordered_map<int, double>& by_as) {
+  double total = 0;
+  for (const auto& [asn, bytes] : itm::net::sorted_items(by_as)) {
+    (void)asn;
+    total += bytes;
+  }
+  return total;
+}
+
+std::vector<int> detected(const std::unordered_map<int, double>& by_as) {
+  std::vector<int> out;
+  for (const auto& [asn, bytes] : by_as) {
+    if (bytes > 1.0) out.push_back(asn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}

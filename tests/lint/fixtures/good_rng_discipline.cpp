@@ -1,0 +1,15 @@
+// Fixture: the sanctioned parallel-randomness pattern — one split() per
+// work item, so every draw is independent of shard boundaries.
+#include <cstddef>
+#include <vector>
+
+#include "net/executor.h"
+#include "net/rng.h"
+
+void fill(itm::net::Executor& exec, const itm::Rng& rng,
+          std::vector<double>& out) {
+  exec.parallel_for(out.size(), [&rng, &out](std::size_t i) {
+    itm::Rng local = rng.split(i);
+    out[i] = local.uniform();
+  });
+}

@@ -1,0 +1,145 @@
+// Golden tests for every itm-lint rule: each bad_<rule>.cpp fixture must
+// reproduce its .expected diagnostics byte for byte, and each good_*.cpp
+// must lint clean. The fixtures double as documentation of what the rules
+// catch and of the sanctioned alternatives.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace itm::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kFixtureDir = ITM_LINT_FIXTURE_DIR;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Lints one fixture in isolation (its own file-local name table, exactly as
+// a .cpp in the real tree) and returns the formatted diagnostics.
+LintResult lint_fixture(const std::string& name) {
+  return lint_sources({SourceFile{name, slurp(kFixtureDir / name)}});
+}
+
+std::string formatted(const LintResult& result) {
+  std::string out;
+  for (const auto& d : result.diagnostics) {
+    out += format_diagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+class GoldenFixture : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenFixture, MatchesExpectedDiagnostics) {
+  const std::string name = std::string("bad_") + GetParam() + ".cpp";
+  const std::string expected =
+      slurp(kFixtureDir / (std::string("bad_") + GetParam() + ".expected"));
+  const auto result = lint_fixture(name);
+  EXPECT_FALSE(result.diagnostics.empty())
+      << name << " must trip its rule — it is the failing fixture";
+  EXPECT_EQ(formatted(result), expected) << "golden mismatch for " << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rules, GoldenFixture,
+                         ::testing::Values("nondet_iteration", "banned_sources",
+                                           "rng_discipline", "executor_capture",
+                                           "float_reduction",
+                                           "stale_suppression"));
+
+class CleanFixture : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CleanFixture, LintsClean) {
+  const std::string name = std::string("good_") + GetParam() + ".cpp";
+  const auto result = lint_fixture(name);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << name << " must be clean, got:\n"
+      << formatted(result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rules, CleanFixture,
+                         ::testing::Values("nondet_iteration", "banned_sources",
+                                           "rng_discipline", "executor_capture",
+                                           "float_reduction", "suppression"));
+
+TEST(Suppression, LiveAllowIsCountedAgainstTheBudget) {
+  const auto result = lint_fixture("good_suppression.cpp");
+  ASSERT_TRUE(result.diagnostics.empty());
+  ASSERT_EQ(result.suppressions_used.size(), 1u);
+  EXPECT_EQ(result.suppressions_used.at("nondet-iteration"), 1u);
+
+  EXPECT_TRUE(check_budget(result, {{"nondet-iteration", 1}}).empty());
+  const auto over = check_budget(result, {{"nondet-iteration", 0}});
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_NE(over[0].find("nondet-iteration"), std::string::npos);
+  // A rule absent from the budget defaults to a cap of zero.
+  EXPECT_EQ(check_budget(result, {}).size(), 1u);
+}
+
+TEST(Budget, ParsesRulesCommentsAndBlanks) {
+  const auto budget = parse_budget(
+      "# per-rule caps\n"
+      "nondet-iteration 3\n"
+      "\n"
+      "banned-nondet-sources 8  # wall timers\n");
+  ASSERT_EQ(budget.size(), 2u);
+  EXPECT_EQ(budget.at("nondet-iteration"), 3u);
+  EXPECT_EQ(budget.at("banned-nondet-sources"), 8u);
+  EXPECT_THROW(parse_budget("nondet-iteration\n"), std::runtime_error);
+  EXPECT_THROW(parse_budget("nondet-iteration -2\n"), std::runtime_error);
+}
+
+// Header declarations are visible to every file; .cpp declarations only to
+// their own file. This is the cross-file half of the name table.
+TEST(NameTable, HeaderDeclarationsApplyAcrossFiles) {
+  const SourceFile header{
+      "src/x/registry.h",
+      "#pragma once\n#include <unordered_map>\n"
+      "struct Registry { std::unordered_map<int, int> live_entries; };\n"};
+  const SourceFile user{
+      "src/x/user.cpp",
+      "#include \"x/registry.h\"\n"
+      "int f(const Registry& r) {\n"
+      "  int n = 0;\n"
+      "  for (const auto& [k, v] : live_entries) { (void)k; (void)v; ++n; }\n"
+      "  return n;\n"
+      "}\n"};
+  const auto result = lint_sources({header, user});
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "nondet-iteration");
+  EXPECT_EQ(result.diagnostics[0].path, "src/x/user.cpp");
+  EXPECT_EQ(result.diagnostics[0].line, 4u);
+}
+
+TEST(NameTable, CppDeclarationsStayFileLocal) {
+  const SourceFile declarer{
+      "src/x/a.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> private_index;\n"};
+  const SourceFile other{
+      "src/x/b.cpp",
+      "#include <map>\n"
+      "int g(const std::map<int, int>& private_index) {\n"
+      "  int n = 0;\n"
+      "  for (const auto& [k, v] : private_index) { (void)k; (void)v; ++n; }\n"
+      "  return n;\n"
+      "}\n"};
+  const auto result = lint_sources({declarer, other});
+  EXPECT_TRUE(result.diagnostics.empty()) << formatted(result);
+}
+
+}  // namespace
+}  // namespace itm::lint

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 #include <unordered_set>
 
 namespace itm {
@@ -274,6 +275,26 @@ TEST_P(ZipfExponentProperty, HeadShareGrowsWithExponent) {
 
 INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentProperty,
                          ::testing::Values(0.6, 0.9, 1.2, 1.5));
+
+// The misuse guard: re-pointing an existing generator at another's state
+// (copy-assignment) is the "shard resets a shared rng" bug and must not
+// compile. Stream derivation (copy-construction of a fresh value,
+// move-assignment from split()/fork() rvalues) stays allowed.
+static_assert(!std::is_copy_assignable_v<Rng>,
+              "copy-assigning an Rng silently aliases streams; use split()");
+static_assert(std::is_copy_constructible_v<Rng>);
+static_assert(std::is_move_constructible_v<Rng>);
+static_assert(std::is_move_assignable_v<Rng>);
+
+TEST(Rng, MoveAssignFromSplitKeepsStreamIdentity) {
+  Rng parent(99);
+  Rng shard(0);
+  shard = parent.split(3);  // move-assignment: the supported re-point idiom
+  Rng reference = parent.split(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(shard.next_u64(), reference.next_u64());
+  }
+}
 
 }  // namespace
 }  // namespace itm

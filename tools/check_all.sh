@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run every repo gate in sequence and print a pass/fail summary table:
+#
+#   format  tools/check_format.sh   changed lines match .clang-format
+#   lint    tools/check_lint.sh     itm-lint determinism/concurrency rules
+#   tier1   cmake + ctest           the full functional test suite
+#   tsan    tools/check_tsan.sh     data races in the parallel executor
+#   asan    tools/check_asan.sh     memory errors + leaks, full suite
+#   ubsan   tools/check_ubsan.sh    undefined behavior, full suite
+#
+# Gates that cannot run here (e.g. clang-format missing) report pass with a
+# note from the underlying script. Set ITM_CHECK_FAST=1 to skip the three
+# sanitizer builds (each is a separate full compile).
+#
+# Usage: tools/check_all.sh
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+declare -a NAMES=()
+declare -a RESULTS=()
+FAILED=0
+
+run_gate() {
+  local name="$1"
+  shift
+  echo
+  echo "=== gate: $name ==="
+  if "$@"; then
+    NAMES+=("$name")
+    RESULTS+=(pass)
+  else
+    NAMES+=("$name")
+    RESULTS+=(FAIL)
+    FAILED=1
+  fi
+}
+
+tier1() {
+  cmake -B build -S . &&
+    cmake --build build -j"$(nproc)" &&
+    ctest --test-dir build --output-on-failure -j"$(nproc)"
+}
+
+run_gate format tools/check_format.sh
+run_gate lint tools/check_lint.sh
+run_gate tier1 tier1
+if [[ "${ITM_CHECK_FAST:-0}" != "1" ]]; then
+  run_gate tsan tools/check_tsan.sh
+  run_gate asan tools/check_asan.sh
+  run_gate ubsan tools/check_ubsan.sh
+else
+  echo
+  echo "=== ITM_CHECK_FAST=1: skipping tsan/asan/ubsan builds ==="
+fi
+
+echo
+echo "=== gate summary ==="
+printf '%-8s %s\n' gate result
+for i in "${!NAMES[@]}"; do
+  printf '%-8s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+done
+exit "$FAILED"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build the full test suite under AddressSanitizer (+ LeakSanitizer) and run
+# every registered test. This is the memory-safety gate: heap/stack overflow,
+# use-after-free and leaks anywhere in src/, tools/ or the test fixtures.
+#
+# Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DITM_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Fail on the first report; detect leaks too (ASan's default on Linux, made
+# explicit so local ASAN_OPTIONS overrides do not silently disable it).
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 abort_on_error=1 detect_leaks=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

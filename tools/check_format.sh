@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Format gate: clang-format (via .clang-format at the repo root) applied only
+# to the lines this branch actually changed, so the gate never demands a
+# wholesale reformat of pre-existing code.
+#
+# Usage: tools/check_format.sh [base-ref]   (default: origin/main, falling
+#        back to HEAD when no such ref exists). Exits 0 when clean or when
+#        clang-format is not installed (the container image does not ship
+#        it); exits 1 when changed lines need reformatting.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping (gate passes)"
+  exit 0
+fi
+
+BASE_REF="${1:-origin/main}"
+if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
+  BASE_REF=HEAD
+fi
+BASE="$(git merge-base "$BASE_REF" HEAD)"
+
+# clang-format-diff reformats only changed hunks; fall back to whole-file
+# checks restricted to files the branch touched when the helper is absent.
+if command -v clang-format-diff >/dev/null 2>&1; then
+  DIFF_OUT="$(git diff -U0 "$BASE" -- '*.h' '*.hpp' '*.cpp' '*.cc' \
+      | clang-format-diff -p1)"
+  if [[ -n "$DIFF_OUT" ]]; then
+    echo "$DIFF_OUT"
+    echo "check_format: changed lines need reformatting (see diff above)"
+    exit 1
+  fi
+else
+  STATUS=0
+  while IFS= read -r f; do
+    [[ -f "$f" ]] || continue
+    if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "check_format: $f differs from .clang-format style"
+      STATUS=1
+    fi
+  done < <(git diff --name-only "$BASE" -- '*.h' '*.hpp' '*.cpp' '*.cc')
+  exit "$STATUS"
+fi
+echo "check_format: changed lines are clean"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build itm-lint and run the lint gate: the full determinism/concurrency
+# static-analysis pass over src/, tools/ and bench/ plus the rule fixture
+# tests. Zero unsuppressed findings and a suppression count within
+# tools/lint/suppressions.budget are required to pass.
+#
+# Usage: tools/check_lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target itm-lint lint_rules_tests
+ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure -j"$(nproc)"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build the full test suite under UndefinedBehaviorSanitizer and run every
+# registered test. The root CMakeLists adds -fno-sanitize-recover=all for
+# ITM_SANITIZE=undefined, so any UB diagnostic aborts the test instead of
+# merely printing.
+#
+# Usage: tools/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "$BUILD_DIR" -S . -DITM_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1 halt_on_error=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

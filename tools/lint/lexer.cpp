@@ -1,0 +1,144 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace itm::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+// Multi-character punctuators, longest first so max-munch works by ordered
+// probing. `::` must be one token (range-for detection keys on a bare `:`),
+// and `>>` must be one token (template-argument skipping closes two depths).
+constexpr std::string_view kPuncts[] = {
+    "<=>", "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",  "##",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+
+  const auto advance_lines = [&](std::string_view text) {
+    for (const char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+  const auto push = [&](TokKind kind, std::size_t begin, std::size_t end,
+                        std::size_t at_line) {
+    out.push_back(Token{kind, src.substr(begin, end - begin), at_line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    const std::size_t start_line = line;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      push(TokKind::kComment, start, i, start_line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
+      i = i + 1 < n ? i + 2 : n;
+      push(TokKind::kComment, start, i, start_line);
+      advance_lines(src.substr(start, i - start));
+      continue;
+    }
+
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        const std::string close =
+            ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+        const std::size_t end = src.find(close, d + 1);
+        i = end == std::string_view::npos ? n : end + close.size();
+        push(TokKind::kString, start, i, start_line);
+        advance_lines(src.substr(start, i - start));
+        continue;
+      }
+    }
+
+    // String / char literals (escape-aware).
+    if (c == '"' || c == '\'') {
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      push(TokKind::kString, start, i, start_line);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      while (i < n && ident_char(src[i])) ++i;
+      push(TokKind::kIdentifier, start, i, start_line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      // pp-number: good enough for 0x1p-3, 1'000'000, 1e+9, 0b1010ull.
+      ++i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, start, i, start_line);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    std::size_t len = 1;
+    for (const std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        len = p.size();
+        break;
+      }
+    }
+    i += len;
+    push(TokKind::kPunct, start, i, start_line);
+  }
+
+  out.push_back(Token{TokKind::kEof, src.substr(n, 0), line});
+  return out;
+}
+
+}  // namespace itm::lint

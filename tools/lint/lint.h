@@ -1,0 +1,80 @@
+// itm-lint: static enforcement of the repo's determinism & concurrency
+// invariants (DESIGN.md decisions #6/#7/#8).
+//
+// The linter runs in two passes over the whole scan set. Pass 1 builds a
+// name table: identifiers declared anywhere with an unordered container
+// type, an Rng type, or a float type. Names declared in headers apply
+// globally (headers are included everywhere); names declared in a .cpp
+// apply to that file only. Pass 2 walks each file's token stream and
+// reports rule violations. This name-level approximation is deliberately
+// conservative and AST-free: a name declared unordered anywhere is treated
+// as unordered everywhere it is visible, which is the right bias for a
+// determinism gate.
+//
+// Rules (ids are stable; fixtures and suppressions reference them):
+//   nondet-iteration      range-for over an unordered_{map,set} without an
+//                         adjacent sort of what the loop builds
+//   banned-nondet-sources std::rand / random_device / <random> engines /
+//                         system_clock / steady_clock / getenv / pointer
+//                         hashing outside allowlisted sites
+//   rng-discipline        a shared Rng captured by reference and *consumed*
+//                         inside an Executor::parallel_* lambda (split() is
+//                         the sanctioned derivation and stays legal)
+//   executor-capture      default [&] captures, or mutation of a by-ref
+//                         captured object that is not a per-index slot,
+//                         inside an Executor::parallel_* lambda
+//   float-reduction-order float/double += accumulation into by-ref captured
+//                         state inside an Executor::parallel_* lambda
+//   stale-suppression     an `itm-lint: allow(...)` comment that suppressed
+//                         nothing (kept as an error so suppressions cannot
+//                         outlive the code they excused)
+//
+// Suppression: `// itm-lint: allow(<rule>)` on the violating line or the
+// line directly above. Every live suppression is counted against
+// tools/lint/suppressions.budget so the total cannot silently grow.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace itm::lint {
+
+struct SourceFile {
+  std::string path;     // reported verbatim in diagnostics
+  std::string content;  // full source text
+};
+
+struct Diagnostic {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // unsuppressed, file/line ordered
+  // Live `allow` comments per rule (each counted once even if it masked
+  // several diagnostics) — compared against the suppression budget.
+  std::map<std::string, std::size_t> suppressions_used;
+};
+
+// Lints every file against the shared cross-file name table.
+[[nodiscard]] LintResult lint_sources(const std::vector<SourceFile>& files);
+
+// "path:line: [rule] message" — the format golden fixtures match against.
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
+
+// Budget file format: `<rule> <max-live-suppressions>` per line, `#`
+// comments allowed. Returns rule -> cap. Throws std::runtime_error on a
+// malformed line.
+[[nodiscard]] std::map<std::string, std::size_t> parse_budget(
+    const std::string& text);
+
+// Human-readable budget violations ("rule: N live suppressions > budget M");
+// empty means within budget. Rules absent from the budget default to 0.
+[[nodiscard]] std::vector<std::string> check_budget(
+    const LintResult& result, const std::map<std::string, std::size_t>& budget);
+
+}  // namespace itm::lint

@@ -1,0 +1,132 @@
+// itm-lint CLI.
+//
+//   itm-lint [--budget FILE] [--stats] PATH...
+//
+// PATHs are files or directories (recursed for .h/.hpp/.cpp/.cc). Exit
+// codes are distinct so CI can tell failure modes apart:
+//   0  clean
+//   1  unsuppressed violations (printed as file:line: [rule] message)
+//   2  usage or I/O error
+//   3  suppression budget exceeded (violations may also have printed)
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int usage(std::ostream& os) {
+  os << "usage: itm-lint [--budget FILE] [--stats] PATH...\n"
+        "  --budget FILE  enforce tools/lint/suppressions.budget caps\n"
+        "  --stats        print live-suppression counts per rule\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string budget_path;
+  bool stats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--budget") {
+      if (++i >= argc) return usage(std::cerr);
+      budget_path = argv[i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "itm-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(std::cerr);
+
+  std::vector<itm::lint::SourceFile> files;
+  try {
+    // Expand directories, then sort: itm-lint's own output must be
+    // deterministic (directory iteration order is not).
+    std::vector<std::string> expanded;
+    for (const std::string& p : paths) {
+      if (fs::is_directory(p)) {
+        for (const auto& entry : fs::recursive_directory_iterator(p)) {
+          if (entry.is_regular_file() && lintable(entry.path())) {
+            expanded.push_back(entry.path().generic_string());
+          }
+        }
+      } else if (fs::is_regular_file(p)) {
+        expanded.push_back(p);
+      } else {
+        std::cerr << "itm-lint: no such file or directory: " << p << "\n";
+        return 2;
+      }
+    }
+    std::sort(expanded.begin(), expanded.end());
+    expanded.erase(std::unique(expanded.begin(), expanded.end()),
+                   expanded.end());
+    files.reserve(expanded.size());
+    for (const std::string& p : expanded) {
+      files.push_back(itm::lint::SourceFile{p, read_file(p)});
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "itm-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  const itm::lint::LintResult result = itm::lint::lint_sources(files);
+  for (const auto& d : result.diagnostics) {
+    std::cout << itm::lint::format_diagnostic(d) << "\n";
+  }
+  if (stats) {
+    std::cout << "— live suppressions by rule —\n";
+    for (const auto& [rule, used] : result.suppressions_used) {
+      std::cout << rule << " " << used << "\n";
+    }
+  }
+
+  int exit_code = result.diagnostics.empty() ? 0 : 1;
+  if (!budget_path.empty()) {
+    try {
+      const auto budget = itm::lint::parse_budget(read_file(budget_path));
+      const auto errors = itm::lint::check_budget(result, budget);
+      if (!errors.empty()) {
+        for (const auto& e : errors) {
+          std::cerr << "itm-lint: budget: " << e << "\n";
+        }
+        exit_code = 3;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "itm-lint: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (exit_code == 0) {
+    std::cout << "itm-lint: " << files.size() << " files clean\n";
+  }
+  return exit_code;
+}
