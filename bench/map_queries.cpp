@@ -4,6 +4,9 @@
 // TrafficMap answers these from public data only; this bench scores those
 // answers against ground truth, and demonstrates the weighted-vs-unweighted
 // CDF contrast the paper opens with.
+//
+// Usage: map_queries [seed] [scale] [country-id] — the optional third
+// argument picks the case-study country for the detail view (default 0).
 #include <algorithm>
 
 #include "bench_common.h"
@@ -32,9 +35,17 @@ int main(int argc, char** argv) {
             << " pearson=" << core::num(pearson(estimated, truth)) << "\n";
 
   // --- Detail view for the biggest eyeball of the case-study country.
-  const auto francia = topo.accesses_in(CountryId(0));
-  if (!francia.empty()) {
-    const Asn big = francia.front();
+  const std::uint64_t country_arg =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+  if (country_arg >= topo.geography.countries().size()) {
+    std::cerr << "[bench] country id " << country_arg << " out of range (0.."
+              << topo.geography.countries().size() - 1 << ")\n";
+    return 2;
+  }
+  const CountryId case_study(static_cast<std::uint32_t>(country_arg));
+  const auto eyeballs = topo.accesses_in(case_study);
+  if (!eyeballs.empty()) {
+    const Asn big = eyeballs.front();
     const auto impact = map.outage_impact(big, topo.addresses);
     std::cout << "\noutage of " << topo.graph.info(big).name << ":\n";
     std::cout << "  estimated activity share: "

@@ -1,0 +1,192 @@
+// SERVE — load-drives the snapshot query engine: compiles the built map
+// into an in-memory `.itms` blob, loads it back through the validating
+// reader (the exact production path of `itm serve`), then replays a large
+// deterministic query stream through itm::net::Executor and reports QPS,
+// a latency histogram and a seed-stable aggregate answer hash.
+//
+// The replay is deterministic end to end: query i is derived from
+// Rng::split(i), every shard runs its own QueryEngine (own LRU cache), and
+// per-shard results merge in shard order — so the answer hash and every
+// deterministic counter are identical for any thread count.
+//
+// Usage: serve_load [seed] [scale] [queries] [threads]
+//   queries defaults to 1,000,000; threads 0 = hardware concurrency.
+#include <sstream>
+#include <string_view>
+
+#include "bench_common.h"
+#include "net/rng.h"
+#include "serve/format.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_reader.h"
+#include "serve/snapshot_writer.h"
+
+namespace {
+
+using namespace itm;
+
+// One replayed query, derived purely from the stream index: the mix leans
+// on point lookups (the hot serving path) with a tail of rollups.
+std::string make_query(const serve::Snapshot& snap, Rng rng) {
+  const std::uint64_t pick = rng.next_below(100);
+  if (pick < 70 && !snap.prefixes.empty()) {
+    // Address inside a known client prefix (95%) or anywhere (5%).
+    if (rng.next_below(20) == 0) {
+      return "lookup " + Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64()))
+                             .to_string();
+    }
+    const auto& rec =
+        snap.prefixes[rng.next_below(snap.prefixes.size())];
+    const auto prefix = rec.prefix();
+    const auto offset = rng.next_below(prefix.size());
+    return "lookup " + prefix.address_at(offset).to_string();
+  }
+  if (pick < 80 && !snap.ases.empty()) {
+    return "as " +
+           std::to_string(snap.ases[rng.next_below(snap.ases.size())].asn);
+  }
+  if (pick < 88 && !snap.ases.empty()) {
+    return "outage " +
+           std::to_string(snap.ases[rng.next_below(snap.ases.size())].asn);
+  }
+  if (pick < 93 && !snap.countries.empty()) {
+    return "country " +
+           std::to_string(
+               snap.countries[rng.next_below(snap.countries.size())].country);
+  }
+  if (pick < 97) return "top-as " + std::to_string(1 + rng.next_below(20));
+  if (pick < 99) {
+    return "top-country " + std::to_string(1 + rng.next_below(8));
+  }
+  return "stats";
+}
+
+struct ShardResult {
+  std::uint64_t hash = 0;
+  std::uint64_t answer_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto scenario = bench::make_scenario(argc, argv);
+  const std::size_t total_queries =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+  const std::size_t threads =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+
+  core::MapBuilder builder(*scenario);
+  core::MapBuildOptions build_options;
+  build_options.threads = threads;
+  std::cerr << "[bench] building the traffic map...\n";
+  const auto map = builder.build(build_options);
+
+  // Compile and reload through the production path: the engines below serve
+  // from validated file bytes, not from the builder's structures.
+  bench::WallTimer compile_timer;
+  std::ostringstream blob_out;
+  serve::write_snapshot(map, *scenario, blob_out);
+  const std::string blob = blob_out.str();
+  std::string error;
+  const auto snapshot = serve::read_snapshot(std::string_view(blob), &error);
+  if (!snapshot) {
+    std::cerr << "[bench] snapshot rejected: " << error << "\n";
+    return 1;
+  }
+  std::ostringstream blob_again;
+  serve::write_snapshot(*snapshot, blob_again);
+  if (blob_again.str() != blob) {
+    std::cerr << "[bench] snapshot round-trip is not byte-identical\n";
+    return 1;
+  }
+  std::cerr << "[bench] snapshot: " << blob.size() << " bytes, "
+            << snapshot->prefixes.size() << " prefixes, "
+            << snapshot->endpoints.size() << " endpoints (compile+reload "
+            << core::num(compile_timer.seconds(), 3) << " s)\n";
+
+  net::Executor executor(threads);
+  const Rng base(scenario->config().seed ^ 0x5e7f);
+  // Latency is wall-clock by nature; the histogram handle is resolved once
+  // so the per-query cost is two clock reads and one atomic increment.
+  static constexpr std::uint64_t kLatencyBoundsUs[] = {1,   2,   5,    10,
+                                                       20,  50,  100,  200,
+                                                       500, 1000, 5000};
+  auto& latency_us = obs::metrics().histogram(
+      "serve_load.latency_us", kLatencyBoundsUs, obs::Determinism::kWallClock);
+
+  bench::WallTimer replay_timer;
+  const serve::Snapshot& snap = *snapshot;
+  const auto shard_results = executor.map_shards<ShardResult>(
+      total_queries,
+      [&snap, &base, &latency_us](const net::Executor::Shard& shard) {
+        serve::QueryEngine engine(snap, 4096);
+        ShardResult result;
+        result.hash = serve::fnv1a64("");
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          const std::string query = make_query(snap, base.split(i));
+          bench::WallTimer query_timer;
+          const std::string answer = engine.execute(query);
+          latency_us.observe(
+              static_cast<std::uint64_t>(query_timer.seconds() * 1e6));
+          // Chain the per-answer hash in index order within the shard.
+          result.hash ^= serve::fnv1a64(answer);
+          result.hash *= 0x100000001b3ull;
+          result.answer_bytes += answer.size();
+        }
+        result.cache_hits = engine.cache_hits();
+        result.cache_misses = engine.cache_misses();
+        return result;
+      });
+  const double elapsed = replay_timer.seconds();
+
+  // Shard-order merge: boundaries depend only on the query count, so the
+  // aggregate is identical for every thread count.
+  std::uint64_t hash = serve::fnv1a64("");
+  std::uint64_t answer_bytes = 0, hits = 0, misses = 0;
+  for (const auto& shard : shard_results) {
+    hash ^= shard.hash;
+    hash *= 0x100000001b3ull;
+    answer_bytes += shard.answer_bytes;
+    hits += shard.cache_hits;
+    misses += shard.cache_misses;
+  }
+  obs::count("serve_load.queries", total_queries);
+  obs::count("serve_load.answer_bytes", answer_bytes);
+  obs::count("serve_load.cache.hits", hits);
+  obs::count("serve_load.cache.misses", misses);
+  obs::gauge_set("serve_load.answer_hash",
+                 static_cast<std::int64_t>(hash));
+
+  std::cout << "== SERVE: snapshot query-serving load ==\n";
+  std::cout << "queries: " << total_queries << " over "
+            << executor.thread_count() << " threads in "
+            << core::num(elapsed, 3) << " s ("
+            << core::num(elapsed > 0 ? total_queries / elapsed : 0, 0)
+            << " qps)\n";
+  std::cout << "answers: " << answer_bytes << " bytes, cache hit rate "
+            << core::pct(hits + misses > 0
+                             ? static_cast<double>(hits) / (hits + misses)
+                             : 0)
+            << "\n";
+  std::cout << "answer hash: " << hash
+            << " (stable for this seed across thread counts)\n";
+  const auto counts = latency_us.counts();
+  std::cout << "latency: count=" << latency_us.count()
+            << " mean_us=" << core::num(latency_us.count() > 0
+                                            ? static_cast<double>(
+                                                  latency_us.sum()) /
+                                                  latency_us.count()
+                                            : 0,
+                                        2)
+            << " p_le_10us="
+            << core::pct(latency_us.count() > 0
+                             ? static_cast<double>(counts[0] + counts[1] +
+                                                   counts[2] + counts[3]) /
+                                   latency_us.count()
+                             : 0)
+            << "\n";
+  itm::bench::dump_metrics_snapshot("serve_load");
+  return 0;
+}

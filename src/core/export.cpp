@@ -33,6 +33,24 @@ std::string json_escape(std::string_view text) {
 
 }  // namespace
 
+std::string csv_escape(std::string_view field) {
+  // RFC 4180: quote a field containing the separator, a quote or a line
+  // break, doubling embedded quotes. Everything else passes through
+  // verbatim, so existing exports of plain names are unchanged.
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void export_map_json(const TrafficMap& map, const Scenario& scenario,
                      std::ostream& os) {
   const auto& topo = scenario.topo();
@@ -96,7 +114,8 @@ void export_activity_csv(const TrafficMap& map, const Scenario& scenario,
                          std::ostream& os) {
   os << "asn,name,activity_score\n";
   for (const Asn asn : map.client_ases) {
-    os << asn.value() << "," << scenario.topo().graph.info(asn).name << ","
+    os << asn.value() << ","
+       << csv_escape(scenario.topo().graph.info(asn).name) << ","
        << map.activity.score(asn) << "\n";
   }
 }
@@ -110,7 +129,8 @@ void export_servers_csv(const TrafficMap& map, const Scenario& scenario,
   }
   os << "address,operator,origin_asn,offnet,lat,lon\n";
   for (const auto& ep : map.tls.endpoints) {
-    os << ep.address.to_string() << "," << ep.inferred_operator << ","
+    os << ep.address.to_string() << "," << csv_escape(ep.inferred_operator)
+       << ","
        << ep.origin_as.value() << "," << (ep.inferred_offnet ? 1 : 0) << ",";
     const auto it = located.find(ep.address);
     if (it != located.end()) {
@@ -127,10 +147,11 @@ void export_recommended_links_csv(const TrafficMap& map,
                                   std::ostream& os) {
   os << "asn_a,name_a,asn_b,name_b,score\n";
   for (const auto& link : map.recommended_links) {
-    os << link.a.value() << "," << scenario.topo().graph.info(link.a).name
-       << "," << link.b.value() << ","
-       << scenario.topo().graph.info(link.b).name << "," << link.score
-       << "\n";
+    os << link.a.value() << ","
+       << csv_escape(scenario.topo().graph.info(link.a).name) << ","
+       << link.b.value() << ","
+       << csv_escape(scenario.topo().graph.info(link.b).name) << ","
+       << link.score << "\n";
   }
 }
 

@@ -5,11 +5,18 @@
 #pragma once
 
 #include <ostream>
+#include <string>
+#include <string_view>
 
 #include "core/scenario.h"
 #include "core/traffic_map.h"
 
 namespace itm::core {
+
+// RFC 4180 CSV field escaping: fields containing a comma, quote or line
+// break are quoted with embedded quotes doubled; anything else is returned
+// unchanged. Used by every CSV exporter below for name/operator fields.
+[[nodiscard]] std::string csv_escape(std::string_view field);
 
 // Whole-map JSON document: metadata, client prefixes/ASes with activity
 // scores, TLS endpoints, geolocated servers, recommended links.

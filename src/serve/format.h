@@ -1,0 +1,175 @@
+// The `.itms` compiled-snapshot wire format (DESIGN.md decision #9).
+//
+// A snapshot is the serving-layer artifact: a built TrafficMap plus the
+// public topology slices it references, compiled into flat, sorted,
+// offset-indexed sections so a QueryEngine can answer point lookups with
+// binary searches over mmap-shaped data instead of rebuilding the map.
+//
+// Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+//
+//   magic      8 bytes  "ITMSNAP1"
+//   version    u32      kSnapshotVersion
+//   endian     u32      kEndianMarker (0x01020304)
+//   checksum   u64      FNV-1a 64 over every byte after this field
+//   tail:
+//     seed           u64   scenario seed the map was built from
+//     section_count  u32
+//     reserved       u32   must be zero
+//     section table  section_count x {id u32, reserved u32, offset u64,
+//                                     size u64}   (offsets from file start)
+//     section payloads, tightly packed in table order
+//
+// The format is *canonical*: sections appear in ascending id order, tightly
+// packed, with sorted records and no padding or trailing bytes. The reader
+// rejects any deviation, which is what makes write -> read -> re-write
+// byte-identical (the round-trip property test) and lets the determinism
+// gate diff snapshot bytes across thread counts.
+//
+// Every byte of the file is either explicitly validated (magic, version,
+// endian marker) or covered by the checksum (the entire tail), so a single
+// flipped bit anywhere is always rejected; a flipped bit inside the checksum
+// field itself fails the comparison. Truncation is caught by bounds checks
+// before any record is parsed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace itm::serve {
+
+inline constexpr std::array<char, 8> kSnapshotMagic = {'I', 'T', 'M', 'S',
+                                                       'N', 'A', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kEndianMarker = 0x01020304;
+
+// Section identifiers; the canonical file orders sections ascending by id.
+enum class SectionId : std::uint32_t {
+  kStrings = 1,    // deduplicated string table (names, operators)
+  kMeta = 2,       // scalar map-wide facts
+  kCountries = 3,  // country id -> name
+  kAsRecords = 4,  // per-AS topology slice + activity, sorted by ASN
+  kPrefixes = 5,   // client prefixes + origin AS, sorted for binary search
+  kEndpoints = 6,  // TLS endpoints, sorted by address
+  kMappings = 7,   // per-service (client /24 -> front end), sorted
+  kLinks = 8,      // recommended peering links, recommender order
+};
+
+// Sentinel for "no string" references (empty operator, unknown origin).
+inline constexpr std::uint32_t kNoRef = 0xffffffffu;
+
+// FNV-1a 64-bit over a byte range; the snapshot checksum. Chosen over a CRC
+// for being trivially portable and dependency-free — the goal is corruption
+// *detection* for a local artifact, not adversarial integrity.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Appends little-endian scalars to a growing byte buffer. std::string is the
+// buffer type so the result can be checksummed and written in one piece.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  // Doubles travel as their IEEE-754 bit pattern: bit-exact round-trips,
+  // no text formatting involved.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void bytes(std::string_view b) { out_.append(b); }
+
+  [[nodiscard]] const std::string& buffer() const { return out_; }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked little-endian cursor over a byte range. Reads never throw;
+// the first out-of-bounds access latches failed() and subsequent reads
+// return zero, so parse loops stay simple and the caller checks once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return static_cast<unsigned char>(bytes_[pos_++]);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!require(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{static_cast<unsigned char>(bytes_[pos_ + i])}
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    if (!require(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{static_cast<unsigned char>(bytes_[pos_ + i])}
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  [[nodiscard]] std::string_view bytes(std::size_t n) {
+    if (!require(n)) return {};
+    const auto view = bytes_.substr(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return failed_ ? 0 : bytes_.size() - pos_;
+  }
+  // True when the cursor consumed the range exactly, with no failure.
+  [[nodiscard]] bool exhausted() const {
+    return !failed_ && pos_ == bytes_.size();
+  }
+
+ private:
+  bool require(std::size_t n) {
+    if (failed_ || bytes_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace itm::serve

@@ -1,0 +1,381 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "serve/format.h"
+#include "topology/as_graph.h"
+
+namespace itm::serve {
+
+namespace {
+
+// Protocol number formatting: shortest-round-trip-ish general format, the
+// same precision the JSON exporter uses. Pure function of the double.
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(10) << v;
+  return os.str();
+}
+
+// Strict unsigned parse: the whole token must be digits.
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  if (token.empty() || token.size() > 20) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+const char* as_type_name(std::uint32_t type) {
+  if (type > static_cast<std::uint32_t>(topology::AsType::kEnterprise)) {
+    return "unknown";
+  }
+  return topology::to_string(static_cast<topology::AsType>(type));
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Snapshot& snapshot,
+                         std::size_t cache_capacity)
+    : snap_(&snapshot), cache_(cache_capacity) {
+  // Activity total in record (ASN-ascending) order — the same accumulation
+  // order as TrafficMap::total_activity over its key-sorted estimate, so
+  // the float result is bit-equal.
+  for (const auto& as : snap_->ases) total_activity_ += as.activity;
+
+  endpoints_by_as_.assign(snap_->ases.size(), 0);
+  operator_endpoints_by_as_.assign(snap_->ases.size(), {});
+  client_prefixes_by_as_.assign(snap_->ases.size(), 0);
+  for (const auto& ep : snap_->endpoints) {
+    if (const AsRecord* as = find_as(ep.origin_asn)) {
+      const auto idx = static_cast<std::size_t>(as - snap_->ases.data());
+      ++endpoints_by_as_[idx];
+      if (ep.operator_ref != kNoRef) {
+        operator_endpoints_by_as_[idx].push_back(ep.address);
+      }
+    }
+  }
+  // Endpoint records are address-sorted, so the per-AS address lists arrive
+  // sorted; keep that invariant explicit for the binary searches below.
+  for (auto& addrs : operator_endpoints_by_as_) {
+    std::sort(addrs.begin(), addrs.end());
+  }
+  for (const auto& prefix : snap_->prefixes) {
+    if (prefix.origin_asn == kNoRef) continue;
+    if (const AsRecord* as = find_as(prefix.origin_asn)) {
+      ++client_prefixes_by_as_[static_cast<std::size_t>(as -
+                                                        snap_->ases.data())];
+    }
+  }
+}
+
+const AsRecord* QueryEngine::find_as(std::uint32_t asn) const {
+  const auto it = std::lower_bound(
+      snap_->ases.begin(), snap_->ases.end(), asn,
+      [](const AsRecord& rec, std::uint32_t value) { return rec.asn < value; });
+  if (it == snap_->ases.end() || it->asn != asn) return nullptr;
+  return &*it;
+}
+
+const PrefixRecord* QueryEngine::find_covering_prefix(
+    Ipv4Addr address) const {
+  // Records are (base, length)-sorted and pairwise disjoint, so the only
+  // candidate container is the last record with base <= address.
+  const auto it = std::upper_bound(
+      snap_->prefixes.begin(), snap_->prefixes.end(), address.bits(),
+      [](std::uint32_t value, const PrefixRecord& rec) {
+        return value < rec.base;
+      });
+  if (it == snap_->prefixes.begin()) return nullptr;
+  const PrefixRecord& candidate = *(it - 1);
+  if (!candidate.prefix().contains(address)) return nullptr;
+  return &candidate;
+}
+
+QueryEngine::PointAnswer QueryEngine::lookup(Ipv4Addr address) const {
+  PointAnswer answer;
+  if (const PrefixRecord* rec = find_covering_prefix(address)) {
+    answer.client_prefix = rec->prefix();
+    if (rec->origin_asn != kNoRef) {
+      answer.origin = Asn(rec->origin_asn);
+      if (const AsRecord* as = find_as(rec->origin_asn)) {
+        answer.activity = as->activity;
+      }
+    }
+  }
+  // ECS mappings are keyed by /24 — the sweep granularity — regardless of
+  // the detected client prefix's length.
+  const Ipv4Prefix key(address, 24);
+  for (const auto& mapping : snap_->mappings) {
+    const auto it = std::lower_bound(
+        mapping.entries.begin(), mapping.entries.end(),
+        std::pair{key.base().bits(), std::uint32_t{24}},
+        [](const MappingEntry& e, const std::pair<std::uint32_t,
+                                                  std::uint32_t>& k) {
+          return std::pair{e.prefix_base, e.prefix_length} < k;
+        });
+    if (it != mapping.entries.end() && it->prefix_base == key.base().bits() &&
+        it->prefix_length == 24) {
+      answer.serving.emplace_back(mapping.service, Ipv4Addr(it->address));
+    }
+  }
+  return answer;
+}
+
+QueryEngine::PointAnswer QueryEngine::lookup(const Ipv4Prefix& prefix) const {
+  PointAnswer answer = lookup(prefix.base());
+  // Exact-prefix semantics: only report a client prefix on an exact match.
+  if (answer.client_prefix && *answer.client_prefix != prefix) {
+    answer.client_prefix = std::nullopt;
+    answer.origin = std::nullopt;
+    answer.activity = 0.0;
+  }
+  return answer;
+}
+
+std::optional<QueryEngine::AsAnswer> QueryEngine::as_answer(Asn asn) const {
+  const AsRecord* rec = find_as(asn.value());
+  if (rec == nullptr) return std::nullopt;
+  AsAnswer answer;
+  answer.asn = asn;
+  answer.name = snap_->strings[rec->name_ref];
+  answer.country = CountryId(rec->country);
+  answer.type = rec->type;
+  answer.activity = rec->activity;
+  answer.is_client = rec->is_client();
+  answer.endpoints_inside =
+      endpoints_by_as_[static_cast<std::size_t>(rec - snap_->ases.data())];
+  return answer;
+}
+
+std::optional<core::OutageImpact> QueryEngine::outage(Asn failed) const {
+  const AsRecord* rec = find_as(failed.value());
+  if (rec == nullptr) return std::nullopt;
+  const auto idx = static_cast<std::size_t>(rec - snap_->ases.data());
+  core::OutageImpact impact;
+  if (total_activity_ > 0) {
+    impact.activity_share = rec->activity / total_activity_;
+  }
+  impact.client_prefixes = client_prefixes_by_as_[idx];
+  const auto& inside = operator_endpoints_by_as_[idx];
+  impact.servers_inside = inside.size();
+  for (const auto& mapping : snap_->mappings) {
+    const bool affected = std::any_of(
+        mapping.entries.begin(), mapping.entries.end(),
+        [&inside](const MappingEntry& entry) {
+          return std::binary_search(inside.begin(), inside.end(),
+                                    entry.address);
+        });
+    if (affected) {
+      impact.services_served_from.push_back(ServiceId(mapping.service));
+    }
+  }
+  // Mappings are service-ascending, so the vector is already sorted the way
+  // TrafficMap::outage_impact sorts it.
+  return impact;
+}
+
+std::optional<QueryEngine::CountryAnswer> QueryEngine::country(
+    CountryId id) const {
+  const auto it = std::lower_bound(
+      snap_->countries.begin(), snap_->countries.end(), id.value(),
+      [](const CountryRecord& rec, std::uint32_t value) {
+        return rec.country < value;
+      });
+  if (it == snap_->countries.end() || it->country != id.value()) {
+    return std::nullopt;
+  }
+  CountryAnswer answer;
+  answer.country = id;
+  answer.name = snap_->strings[it->name_ref];
+  for (std::size_t i = 0; i < snap_->ases.size(); ++i) {
+    const auto& as = snap_->ases[i];
+    if (as.country != id.value()) continue;
+    answer.activity += as.activity;
+    if (as.is_client()) ++answer.client_ases;
+    answer.endpoints += endpoints_by_as_[i];
+  }
+  return answer;
+}
+
+std::vector<std::pair<Asn, double>> QueryEngine::top_ases(
+    std::size_t k) const {
+  std::vector<std::pair<Asn, double>> ranked;
+  for (const auto& as : snap_->ases) {
+    if (as.activity > 0) ranked.emplace_back(Asn(as.asn), as.activity);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<std::pair<CountryId, double>> QueryEngine::top_countries(
+    std::size_t k) const {
+  std::vector<std::pair<CountryId, double>> ranked;
+  ranked.reserve(snap_->countries.size());
+  for (const auto& rec : snap_->countries) {
+    double total = 0.0;
+    for (const auto& as : snap_->ases) {
+      if (as.country == rec.country) total += as.activity;
+    }
+    ranked.emplace_back(CountryId(rec.country), total);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::string QueryEngine::format_point(const PointAnswer& answer) const {
+  std::ostringstream os;
+  os << "prefix="
+     << (answer.client_prefix ? answer.client_prefix->to_string() : "none");
+  os << " as=";
+  if (answer.origin) {
+    os << answer.origin->value();
+    if (const AsRecord* rec = find_as(answer.origin->value())) {
+      os << " name=" << snap_->strings[rec->name_ref];
+    }
+  } else {
+    os << "none";
+  }
+  os << " activity=" << fmt(answer.activity) << " serving=";
+  if (answer.serving.empty()) {
+    os << "none";
+  } else {
+    for (std::size_t i = 0; i < answer.serving.size(); ++i) {
+      if (i) os << ",";
+      os << answer.serving[i].first << "@"
+         << answer.serving[i].second.to_string();
+    }
+  }
+  return os.str();
+}
+
+std::string QueryEngine::execute(const std::string& line) {
+  ++executed_;
+  if (const auto cached = cache_.get(line)) return *cached;
+  std::string result = execute_uncached(line);
+  cache_.put(line, result);
+  return result;
+}
+
+std::string QueryEngine::execute_uncached(const std::string& line) const {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return "error: empty query";
+  const std::string& verb = tokens[0];
+
+  if (verb == "lookup" && tokens.size() == 2) {
+    const auto addr = Ipv4Addr::parse(tokens[1]);
+    if (!addr) return "error: bad address '" + tokens[1] + "'";
+    return "lookup " + tokens[1] + " " + format_point(lookup(*addr));
+  }
+  if (verb == "prefix" && tokens.size() == 2) {
+    const auto prefix = Ipv4Prefix::parse(tokens[1]);
+    if (!prefix) return "error: bad prefix '" + tokens[1] + "'";
+    return "prefix " + tokens[1] + " " + format_point(lookup(*prefix));
+  }
+  if (verb == "as" && tokens.size() == 2) {
+    const auto asn = parse_u64(tokens[1]);
+    if (!asn) return "error: bad asn '" + tokens[1] + "'";
+    const auto answer = as_answer(Asn(static_cast<std::uint32_t>(*asn)));
+    if (!answer) return "error: unknown as " + tokens[1];
+    std::ostringstream os;
+    os << "as " << answer->asn.value() << " name=" << answer->name
+       << " country=" << answer->country.value() << " type="
+       << as_type_name(answer->type) << " activity=" << fmt(answer->activity)
+       << " client=" << (answer->is_client ? 1 : 0) << " endpoints="
+       << answer->endpoints_inside;
+    return os.str();
+  }
+  if (verb == "outage" && tokens.size() == 2) {
+    const auto asn = parse_u64(tokens[1]);
+    if (!asn) return "error: bad asn '" + tokens[1] + "'";
+    const auto impact = outage(Asn(static_cast<std::uint32_t>(*asn)));
+    if (!impact) return "error: unknown as " + tokens[1];
+    std::ostringstream os;
+    os << "outage " << *asn << " activity_share="
+       << fmt(impact->activity_share) << " client_prefixes="
+       << impact->client_prefixes << " servers_inside="
+       << impact->servers_inside << " services=";
+    if (impact->services_served_from.empty()) {
+      os << "none";
+    } else {
+      for (std::size_t i = 0; i < impact->services_served_from.size(); ++i) {
+        if (i) os << ",";
+        os << impact->services_served_from[i].value();
+      }
+    }
+    return os.str();
+  }
+  if (verb == "country" && tokens.size() == 2) {
+    const auto id = parse_u64(tokens[1]);
+    if (!id) return "error: bad country '" + tokens[1] + "'";
+    const auto answer = country(CountryId(static_cast<std::uint32_t>(*id)));
+    if (!answer) return "error: unknown country " + tokens[1];
+    std::ostringstream os;
+    os << "country " << answer->country.value() << " name=" << answer->name
+       << " client_ases=" << answer->client_ases << " activity="
+       << fmt(answer->activity) << " endpoints=" << answer->endpoints;
+    return os.str();
+  }
+  if ((verb == "top-as" || verb == "top-country") && tokens.size() == 2) {
+    const auto k = parse_u64(tokens[1]);
+    if (!k || *k == 0) return "error: bad count '" + tokens[1] + "'";
+    std::ostringstream os;
+    os << verb << " " << *k << " =";
+    if (verb == "top-as") {
+      const auto ranked = top_ases(static_cast<std::size_t>(*k));
+      if (ranked.empty()) os << " none";
+      for (std::size_t i = 0; i < ranked.size(); ++i) {
+        os << (i ? "," : " ") << ranked[i].first.value() << ":"
+           << fmt(ranked[i].second);
+      }
+    } else {
+      const auto ranked = top_countries(static_cast<std::size_t>(*k));
+      if (ranked.empty()) os << " none";
+      for (std::size_t i = 0; i < ranked.size(); ++i) {
+        os << (i ? "," : " ") << ranked[i].first.value() << ":"
+           << fmt(ranked[i].second);
+      }
+    }
+    return os.str();
+  }
+  if (verb == "stats" && tokens.size() == 1) {
+    std::size_t client_ases = 0;
+    for (const auto& as : snap_->ases) {
+      if (as.is_client()) ++client_ases;
+    }
+    std::ostringstream os;
+    os << "stats ases=" << snap_->ases.size() << " client_ases=" << client_ases
+       << " client_prefixes=" << snap_->prefixes.size() << " endpoints="
+       << snap_->endpoints.size() << " services=" << snap_->mappings.size()
+       << " recommended_links=" << snap_->links.size() << " observed_links="
+       << snap_->observed_links << " addresses_probed="
+       << snap_->addresses_probed << " total_activity="
+       << fmt(total_activity_) << " seed=" << snap_->seed;
+    return os.str();
+  }
+  return "error: unknown query '" + line + "'";
+}
+
+}  // namespace itm::serve

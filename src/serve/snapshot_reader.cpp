@@ -1,0 +1,340 @@
+#include "serve/snapshot_reader.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "serve/format.h"
+
+namespace itm::serve {
+
+namespace {
+
+// Local error channel: fail() records the first diagnostic and every
+// subsequent check short-circuits, so parse code reads top-to-bottom.
+struct Parser {
+  std::string error;
+  bool failed = false;
+
+  bool fail(const std::string& message) {
+    if (!failed) {
+      failed = true;
+      error = message;
+    }
+    return false;
+  }
+};
+
+bool check(Parser& p, bool ok, const char* message) {
+  if (!ok) p.fail(message);
+  return ok && !p.failed;
+}
+
+bool parse_strings(Parser& p, ByteReader r, std::vector<std::string>& out) {
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    const std::uint32_t len = r.u32();
+    const auto view = r.bytes(len);
+    if (!r.failed()) out.emplace_back(view);
+  }
+  if (!check(p, !r.failed(), "string table truncated")) return false;
+  return check(p, r.exhausted(), "string table has trailing bytes");
+}
+
+bool parse_meta(Parser& p, ByteReader r, Snapshot& snap) {
+  snap.addresses_probed = r.u64();
+  snap.observed_links = r.u64();
+  if (!check(p, !r.failed(), "meta section truncated")) return false;
+  return check(p, r.exhausted(), "meta section has trailing bytes");
+}
+
+bool parse_countries(Parser& p, ByteReader r, const Snapshot& snap,
+                     std::vector<CountryRecord>& out) {
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    CountryRecord rec;
+    rec.country = r.u32();
+    rec.name_ref = r.u32();
+    if (r.failed()) break;
+    if (!check(p, rec.name_ref < snap.strings.size(),
+               "country name reference out of range")) {
+      return false;
+    }
+    if (!out.empty() &&
+        !check(p, out.back().country < rec.country,
+               "country records not sorted by id")) {
+      return false;
+    }
+    out.push_back(rec);
+  }
+  if (!check(p, !r.failed(), "country section truncated")) return false;
+  return check(p, r.exhausted(), "country section has trailing bytes");
+}
+
+bool parse_ases(Parser& p, ByteReader r, const Snapshot& snap,
+                std::vector<AsRecord>& out) {
+  const std::uint32_t count = r.u32();
+  // Reserve bounded by the bytes actually present (28 per record), so a
+  // crafted count cannot force a huge allocation before the bounds checks.
+  out.reserve(std::min<std::size_t>(count, r.remaining() / 28));
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    AsRecord rec;
+    rec.asn = r.u32();
+    rec.name_ref = r.u32();
+    rec.country = r.u32();
+    rec.type = r.u32();
+    rec.flags = r.u32();
+    rec.activity = r.f64();
+    if (r.failed()) break;
+    if (!check(p, rec.name_ref < snap.strings.size(),
+               "AS name reference out of range")) {
+      return false;
+    }
+    if (!out.empty() && !check(p, out.back().asn < rec.asn,
+                               "AS records not sorted by ASN")) {
+      return false;
+    }
+    out.push_back(rec);
+  }
+  if (!check(p, !r.failed(), "AS section truncated")) return false;
+  return check(p, r.exhausted(), "AS section has trailing bytes");
+}
+
+bool parse_prefixes(Parser& p, ByteReader r, std::vector<PrefixRecord>& out) {
+  const std::uint32_t count = r.u32();
+  out.reserve(std::min<std::size_t>(count, r.remaining() / 12));
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    PrefixRecord rec;
+    rec.base = r.u32();
+    rec.length = r.u32();
+    rec.origin_asn = r.u32();
+    if (r.failed()) break;
+    if (!check(p, rec.length <= 32, "prefix length out of range")) {
+      return false;
+    }
+    if (!out.empty()) {
+      const auto& prev = out.back();
+      if (!check(p, std::pair{prev.base, prev.length} <
+                        std::pair{rec.base, rec.length},
+                 "prefix records not sorted")) {
+        return false;
+      }
+      // Disjointness keeps point lookup a single binary search.
+      if (!check(p, !prev.prefix().contains(rec.prefix()),
+                 "prefix records overlap")) {
+        return false;
+      }
+    }
+    out.push_back(rec);
+  }
+  if (!check(p, !r.failed(), "prefix section truncated")) return false;
+  return check(p, r.exhausted(), "prefix section has trailing bytes");
+}
+
+bool parse_endpoints(Parser& p, ByteReader r, const Snapshot& snap,
+                     std::vector<EndpointRecord>& out) {
+  const std::uint32_t count = r.u32();
+  out.reserve(std::min<std::size_t>(count, r.remaining() / 32));
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    EndpointRecord rec;
+    rec.address = r.u32();
+    rec.origin_asn = r.u32();
+    rec.operator_ref = r.u32();
+    rec.flags = r.u32();
+    rec.lat_deg = r.f64();
+    rec.lon_deg = r.f64();
+    if (r.failed()) break;
+    if (!check(p,
+               rec.operator_ref == kNoRef ||
+                   rec.operator_ref < snap.strings.size(),
+               "endpoint operator reference out of range")) {
+      return false;
+    }
+    if (!out.empty() && !check(p, out.back().address < rec.address,
+                               "endpoint records not sorted by address")) {
+      return false;
+    }
+    out.push_back(rec);
+  }
+  if (!check(p, !r.failed(), "endpoint section truncated")) return false;
+  return check(p, r.exhausted(), "endpoint section has trailing bytes");
+}
+
+bool parse_mappings(Parser& p, ByteReader r,
+                    std::vector<ServiceMapping>& out) {
+  const std::uint32_t count = r.u32();
+  out.reserve(std::min<std::size_t>(count, r.remaining() / 8));
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    ServiceMapping mapping;
+    mapping.service = r.u32();
+    const std::uint32_t entries = r.u32();
+    mapping.entries.reserve(std::min<std::size_t>(
+        r.failed() ? 0 : entries, r.remaining() / 12));
+    for (std::uint32_t j = 0; j < entries && !r.failed(); ++j) {
+      MappingEntry entry;
+      entry.prefix_base = r.u32();
+      entry.prefix_length = r.u32();
+      entry.address = r.u32();
+      if (r.failed()) break;
+      if (!check(p, entry.prefix_length <= 32,
+                 "mapping prefix length out of range")) {
+        return false;
+      }
+      if (!mapping.entries.empty()) {
+        const auto& prev = mapping.entries.back();
+        if (!check(p,
+                   std::pair{prev.prefix_base, prev.prefix_length} <
+                       std::pair{entry.prefix_base, entry.prefix_length},
+                   "mapping entries not sorted by prefix")) {
+          return false;
+        }
+      }
+      mapping.entries.push_back(entry);
+    }
+    if (r.failed()) break;
+    if (!out.empty() && !check(p, out.back().service < mapping.service,
+                               "service mappings not sorted by id")) {
+      return false;
+    }
+    out.push_back(std::move(mapping));
+  }
+  if (!check(p, !r.failed(), "mapping section truncated")) return false;
+  return check(p, r.exhausted(), "mapping section has trailing bytes");
+}
+
+bool parse_links(Parser& p, ByteReader r, std::vector<LinkRecord>& out) {
+  const std::uint32_t count = r.u32();
+  out.reserve(std::min<std::size_t>(count, r.remaining() / 16));
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    LinkRecord rec;
+    rec.a = r.u32();
+    rec.b = r.u32();
+    rec.score = r.f64();
+    if (!r.failed()) out.push_back(rec);
+  }
+  if (!check(p, !r.failed(), "link section truncated")) return false;
+  return check(p, r.exhausted(), "link section has trailing bytes");
+}
+
+}  // namespace
+
+std::optional<Snapshot> read_snapshot(std::string_view bytes,
+                                      std::string* error) {
+  Parser p;
+  const auto fail = [&](const char* message) -> std::optional<Snapshot> {
+    p.fail(message);
+    if (error != nullptr) *error = p.error;
+    obs::count("serve.snapshot.load_rejected");
+    return std::nullopt;
+  };
+
+  constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
+  if (bytes.size() < kHeaderSize) return fail("file shorter than header");
+  ByteReader header(bytes.substr(0, kHeaderSize));
+  const auto magic = header.bytes(kSnapshotMagic.size());
+  if (magic != std::string_view(kSnapshotMagic.data(), kSnapshotMagic.size())) {
+    return fail("bad magic (not an .itms snapshot)");
+  }
+  if (header.u32() != kSnapshotVersion) return fail("unsupported version");
+  if (header.u32() != kEndianMarker) return fail("endianness marker mismatch");
+  const std::uint64_t checksum = header.u64();
+
+  const std::string_view tail = bytes.substr(kHeaderSize);
+  if (fnv1a64(tail) != checksum) {
+    return fail("checksum mismatch (corrupted snapshot)");
+  }
+
+  ByteReader t(tail);
+  Snapshot snap;
+  snap.seed = t.u64();
+  const std::uint32_t section_count = t.u32();
+  if (t.u32() != 0) return fail("reserved header field not zero");
+  if (t.failed()) return fail("section table truncated");
+
+  // The canonical layout: ascending unique ids, payloads tightly packed
+  // immediately after the table, covering the file exactly.
+  struct Section {
+    std::uint32_t id;
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::vector<Section> sections;
+  sections.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    Section s{};
+    s.id = t.u32();
+    if (t.u32() != 0) return fail("reserved section field not zero");
+    s.offset = t.u64();
+    s.size = t.u64();
+    if (t.failed()) return fail("section table truncated");
+    sections.push_back(s);
+  }
+  std::uint64_t expected_offset = kHeaderSize + 8 + 4 + 4 +
+                                  std::uint64_t{section_count} * 24;
+  for (const auto& s : sections) {
+    if (s.offset != expected_offset) return fail("sections not tightly packed");
+    if (s.offset + s.size > bytes.size()) return fail("section out of bounds");
+    expected_offset += s.size;
+  }
+  if (expected_offset != bytes.size()) {
+    return fail("trailing bytes after last section");
+  }
+  for (std::size_t i = 1; i < sections.size(); ++i) {
+    if (sections[i - 1].id >= sections[i].id) {
+      return fail("sections not in ascending id order");
+    }
+  }
+
+  const auto payload = [&](SectionId id) -> std::optional<std::string_view> {
+    for (const auto& s : sections) {
+      if (s.id == static_cast<std::uint32_t>(id)) {
+        return bytes.substr(s.offset, s.size);
+      }
+    }
+    return std::nullopt;
+  };
+  // Every v1 section is required, and no other ids are defined.
+  for (const auto& s : sections) {
+    if (s.id < 1 || s.id > 8) return fail("unknown section id");
+  }
+  if (sections.size() != 8) return fail("missing required section");
+
+  bool ok = parse_strings(p, ByteReader(*payload(SectionId::kStrings)),
+                          snap.strings);
+  ok = ok && parse_meta(p, ByteReader(*payload(SectionId::kMeta)), snap);
+  ok = ok && parse_countries(p, ByteReader(*payload(SectionId::kCountries)),
+                             snap, snap.countries);
+  ok = ok && parse_ases(p, ByteReader(*payload(SectionId::kAsRecords)), snap,
+                        snap.ases);
+  ok = ok && parse_prefixes(p, ByteReader(*payload(SectionId::kPrefixes)),
+                            snap.prefixes);
+  ok = ok && parse_endpoints(p, ByteReader(*payload(SectionId::kEndpoints)),
+                             snap, snap.endpoints);
+  ok = ok && parse_mappings(p, ByteReader(*payload(SectionId::kMappings)),
+                            snap.mappings);
+  ok = ok && parse_links(p, ByteReader(*payload(SectionId::kLinks)),
+                         snap.links);
+  if (!ok || p.failed) {
+    if (error != nullptr) *error = p.error;
+    obs::count("serve.snapshot.load_rejected");
+    return std::nullopt;
+  }
+
+  obs::count("serve.snapshot.loads");
+  obs::count("serve.snapshot.bytes_read", bytes.size());
+  return snap;
+}
+
+std::optional<Snapshot> read_snapshot(std::istream& is, std::string* error) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) {
+    if (error != nullptr) *error = "failed to read snapshot stream";
+    return std::nullopt;
+  }
+  const std::string bytes = buffer.str();
+  return read_snapshot(bytes, error);
+}
+
+}  // namespace itm::serve

@@ -1,0 +1,29 @@
+// Validating reader for `.itms` snapshots.
+//
+// The reader trusts nothing: magic/version/endianness, the whole-tail
+// checksum, section-table bounds, canonical section order and packing,
+// string references, record sort invariants and exact payload consumption
+// are all checked before a Snapshot is returned. A snapshot that loads is
+// therefore safe to binary-search and will re-serialize byte-identically.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/snapshot.h"
+
+namespace itm::serve {
+
+// Parses and validates a snapshot from raw bytes. Returns nullopt and sets
+// `error` (when non-null) to a one-line diagnostic on any violation.
+[[nodiscard]] std::optional<Snapshot> read_snapshot(std::string_view bytes,
+                                                    std::string* error);
+
+// Stream convenience: slurps the stream and parses. A failed read (e.g. a
+// missing file opened upstream) reports through `error` as well.
+[[nodiscard]] std::optional<Snapshot> read_snapshot(std::istream& is,
+                                                    std::string* error);
+
+}  // namespace itm::serve

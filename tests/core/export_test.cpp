@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 namespace itm::core {
@@ -93,6 +95,80 @@ TEST_F(ExportTest, LinksCsvMatchesRecommendations) {
   const auto rows = std::count(csv.begin(), csv.end(), '\n');
   EXPECT_EQ(static_cast<std::size_t>(rows),
             map_->recommended_links.size() + 1);
+}
+
+// The JSON export is a published artifact: any byte-level drift is an
+// intentional format change and must come with a golden refresh
+// (ITM_REGEN_GOLDEN=1 ctest -R JsonMatchesGoldenFile) and a review of the
+// diff. This pins export_map_json for the fixture map (tiny scale, seed
+// 808, 6 probe rounds).
+TEST_F(ExportTest, JsonMatchesGoldenFile) {
+  std::ostringstream os;
+  export_map_json(*map_, *scenario_, os);
+  const std::string path = std::string(ITM_GOLDEN_DIR) + "/map_tiny808.json";
+  if (std::getenv("ITM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << os.str();
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with ITM_REGEN_GOLDEN=1 to create it)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(os.str(), golden.str())
+      << "export_map_json output drifted from the golden file; if the "
+         "change is intentional, regenerate with ITM_REGEN_GOLDEN=1";
+}
+
+TEST(CsvEscapeTest, PlainFieldsPassThroughUnchanged) {
+  EXPECT_EQ(csv_escape("Orange"), "Orange");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("HG-Search"), "HG-Search");
+}
+
+TEST(CsvEscapeTest, SeparatorsAndQuotesAreQuoted) {
+  EXPECT_EQ(csv_escape("Acme, Inc."), "\"Acme, Inc.\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvEscapeTest, EscapedNamesKeepCsvRowsParseable) {
+  // A one-field-per-cell parse of an escaped row must recover the original
+  // name even when it contains the separator.
+  const std::string name = "Tele, \"Nord\" AS";
+  const std::string row = "12," + csv_escape(name) + ",0.5";
+  // Split respecting quotes.
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const char c = row[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < row.size() && row[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "12");
+  EXPECT_EQ(fields[1], name);
+  EXPECT_EQ(fields[2], "0.5");
 }
 
 }  // namespace

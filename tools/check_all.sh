@@ -4,6 +4,7 @@
 #   format  tools/check_format.sh   changed lines match .clang-format
 #   lint    tools/check_lint.sh     itm-lint determinism/concurrency rules
 #   tier1   cmake + ctest           the full functional test suite
+#   snapshot tools/check_snapshot.sh  .itms byte-determinism + corruption
 #   tsan    tools/check_tsan.sh     data races in the parallel executor
 #   asan    tools/check_asan.sh     memory errors + leaks, full suite
 #   ubsan   tools/check_ubsan.sh    undefined behavior, full suite
@@ -45,6 +46,7 @@ tier1() {
 run_gate format tools/check_format.sh
 run_gate lint tools/check_lint.sh
 run_gate tier1 tier1
+run_gate snapshot tools/check_snapshot.sh
 if [[ "${ITM_CHECK_FAST:-0}" != "1" ]]; then
   run_gate tsan tools/check_tsan.sh
   run_gate asan tools/check_asan.sh

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# The snapshot-determinism gate: builds the toolkit, compiles `.itms`
+# snapshots of the same map at several thread counts, and byte-compares
+# them — the serving artifact must be identical for every --threads value
+# (DESIGN.md decisions #6/#9). Also checks that the validating reader
+# rejects corrupted files, then runs the snapshot-labeled ctest subset
+# (format round-trip/bit-flip tests and the engine-equals-map suite).
+#
+# Usage: tools/check_snapshot.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target itm serve_tests
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+for threads in 1 8; do
+  "$BUILD_DIR/tools/itm" snapshot --scale tiny --seed 11 \
+      --threads "$threads" --out "$SCRATCH/snap_t$threads.itms" >/dev/null
+done
+
+if ! cmp "$SCRATCH/snap_t1.itms" "$SCRATCH/snap_t8.itms"; then
+  echo "FAIL: snapshot differs between --threads 1 and --threads 8" >&2
+  exit 1
+fi
+echo "snapshot byte-identical across thread counts"
+
+# The reader must reject truncated and bit-flipped files (exit 4).
+printf 'stats\n' > "$SCRATCH/queries.txt"
+head -c 100 "$SCRATCH/snap_t1.itms" > "$SCRATCH/truncated.itms"
+if "$BUILD_DIR/tools/itm" serve --snapshot "$SCRATCH/truncated.itms" \
+    --queries "$SCRATCH/queries.txt" >/dev/null 2>&1; then
+  echo "FAIL: truncated snapshot was accepted" >&2
+  exit 1
+fi
+cp "$SCRATCH/snap_t1.itms" "$SCRATCH/flipped.itms"
+python3 - "$SCRATCH/flipped.itms" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[100] ^= 0x01  # a genuine single-bit flip, whatever the byte was
+open(path, 'wb').write(bytes(data))
+EOF
+if "$BUILD_DIR/tools/itm" serve --snapshot "$SCRATCH/flipped.itms" \
+    --queries "$SCRATCH/queries.txt" >/dev/null 2>&1; then
+  echo "FAIL: bit-flipped snapshot was accepted" >&2
+  exit 1
+fi
+echo "corrupted snapshots rejected"
+
+ctest --test-dir "$BUILD_DIR" -L snapshot --output-on-failure -j"$(nproc)"

@@ -22,6 +22,16 @@
 //   itm rel-path <file> <asn-a> <asn-b>
 //       Load an external as-rel file (e.g. CAIDA serial-1) and print the
 //       Gao-Rexford best path between two ASNs.
+//   itm snapshot --out FILE [--seed N] [--scale S] [--threads N]
+//               [--metrics-out FILE]
+//       Build the traffic map and compile it into a versioned, checksummed
+//       `.itms` snapshot — the serving artifact. Byte-identical for every
+//       --threads value.
+//   itm serve --snapshot FILE --queries FILE [--cache-size N]
+//             [--metrics-out FILE]
+//       Load an `.itms` snapshot and answer a line-delimited query batch
+//       (one answer line per query line, in input order; blank lines and
+//       `#` comments are skipped). See serve/query_engine.h for the verbs.
 //   itm version
 //       Print build information (compiler, build type, sanitizer flags).
 //
@@ -31,6 +41,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/export.h"
@@ -40,6 +51,9 @@
 #include "core/whatif.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_reader.h"
+#include "serve/snapshot_writer.h"
 #include "topology/serialization.h"
 #include "routing/bgp.h"
 #include "scan/traceroute.h"
@@ -63,6 +77,10 @@ struct CliOptions {
   std::optional<std::string> csv_prefix;
   std::optional<std::string> metrics_path;
   std::optional<std::string> trace_path;
+  std::optional<std::string> out_path;       // itm snapshot --out
+  std::optional<std::string> snapshot_path;  // itm serve --snapshot
+  std::optional<std::string> queries_path;   // itm serve --queries
+  std::size_t cache_size = 1024;             // itm serve --cache-size
   bool verbose = false;
   std::vector<std::string> positional;
 };
@@ -92,6 +110,14 @@ CliOptions parse(int argc, char** argv, int first) {
       options.metrics_path = next();
     } else if (arg == "--trace-out") {
       options.trace_path = next();
+    } else if (arg == "--out") {
+      options.out_path = next();
+    } else if (arg == "--snapshot") {
+      options.snapshot_path = next();
+    } else if (arg == "--queries") {
+      options.queries_path = next();
+    } else if (arg == "--cache-size") {
+      options.cache_size = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (!arg.empty() && arg.front() == '-') {
@@ -379,6 +405,102 @@ int cmd_rel_path(const CliOptions& options) {
   return 0;
 }
 
+int cmd_snapshot(const CliOptions& options) {
+  if (!options.out_path) {
+    std::cerr << "usage: itm snapshot --out FILE [--seed N] [--scale S] "
+                 "[--threads N]\n";
+    return kExitUsage;
+  }
+  obs::MetricsRegistry registry;
+  const obs::ScopedMetrics metrics_scope(registry);
+
+  auto scenario = make_scenario(options);
+  core::MapBuilder builder(*scenario);
+  core::MapBuildOptions build_options;
+  build_options.threads = options.threads;
+  std::cerr << "building the traffic map...\n";
+  const auto map = builder.build(build_options);
+
+  std::ostringstream bytes;
+  serve::write_snapshot(map, *scenario, bytes);
+  const std::string blob = bytes.str();
+  // Self-check: the bytes we are about to publish must load cleanly.
+  std::string error;
+  if (!serve::read_snapshot(std::string_view(blob), &error)) {
+    std::cerr << "internal error: snapshot failed validation: " << error
+              << "\n";
+    return kExitRuntime;
+  }
+  std::ofstream out(*options.out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open " << *options.out_path << "\n";
+    return kExitRuntime;
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.close();
+  if (!out) {
+    std::cerr << "failed writing " << *options.out_path << "\n";
+    return kExitRuntime;
+  }
+  std::cout << "wrote " << *options.out_path << " (" << blob.size()
+            << " bytes, " << map.client_prefixes.size() << " prefixes, "
+            << map.tls.endpoints.size() << " endpoints, "
+            << map.user_mapping.size() << " services)\n";
+  if (options.metrics_path) {
+    std::ofstream metrics_out(*options.metrics_path);
+    registry.write_json(metrics_out,
+                        obs::MetricsRegistry::Export::kDeterministicOnly);
+    std::cout << "wrote " << *options.metrics_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const CliOptions& options) {
+  if (!options.snapshot_path || !options.queries_path) {
+    std::cerr << "usage: itm serve --snapshot FILE --queries FILE "
+                 "[--cache-size N]\n";
+    return kExitUsage;
+  }
+  obs::MetricsRegistry registry;
+  const obs::ScopedMetrics metrics_scope(registry);
+
+  std::ifstream snapshot_in(*options.snapshot_path, std::ios::binary);
+  if (!snapshot_in) {
+    std::cerr << "cannot open " << *options.snapshot_path << "\n";
+    return kExitRuntime;
+  }
+  std::string error;
+  const auto snapshot = serve::read_snapshot(snapshot_in, &error);
+  if (!snapshot) {
+    std::cerr << *options.snapshot_path << ": " << error << "\n";
+    return kExitRuntime;
+  }
+  std::ifstream queries_in(*options.queries_path);
+  if (!queries_in) {
+    std::cerr << "cannot open " << *options.queries_path << "\n";
+    return kExitRuntime;
+  }
+  serve::QueryEngine engine(*snapshot, options.cache_size);
+  std::string line;
+  while (std::getline(queries_in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::cout << engine.execute(line) << "\n";
+  }
+  obs::count("serve.queries", engine.queries_executed());
+  obs::count("serve.cache.hits", engine.cache_hits());
+  obs::count("serve.cache.misses", engine.cache_misses());
+  std::cerr << "served " << engine.queries_executed() << " queries ("
+            << engine.cache_hits() << " cache hits, seed "
+            << snapshot->seed << ")\n";
+  if (options.metrics_path) {
+    std::ofstream metrics_out(*options.metrics_path);
+    registry.write_json(metrics_out,
+                        obs::MetricsRegistry::Export::kDeterministicOnly);
+    std::cout << "wrote " << *options.metrics_path << "\n";
+  }
+  return 0;
+}
+
 // Build information baked in by tools/CMakeLists.txt; the fallbacks keep
 // non-CMake builds (e.g. IDE single-file checks) compiling.
 #ifndef ITM_COMPILER_INFO
@@ -408,8 +530,8 @@ int cmd_version() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: itm "
-                 "<generate|map|outage|path|top|rel-export|rel-path|version> "
-                 "[options]\n";
+                 "<generate|map|outage|path|top|rel-export|rel-path|"
+                 "snapshot|serve|version> [options]\n";
     return kExitUsage;
   }
   const std::string command = argv[1];
@@ -421,6 +543,8 @@ int main(int argc, char** argv) {
   if (command == "top") return cmd_top(options);
   if (command == "rel-export") return cmd_rel_export(options);
   if (command == "rel-path") return cmd_rel_path(options);
+  if (command == "snapshot") return cmd_snapshot(options);
+  if (command == "serve") return cmd_serve(options);
   if (command == "version") return cmd_version();
   std::cerr << "unknown command '" << command << "'\n";
   return kExitUnknownCommand;

@@ -1,0 +1,88 @@
+# The snapshot-determinism gate: `itm snapshot` must write byte-identical
+# `.itms` files for every thread count (the compiled map is already
+# byte-stable per DESIGN.md decision #6; the snapshot inherits that and this
+# test pins it), and `itm serve` must answer a batch identically from each
+# of them. The reader must also reject corrupted input with exit code 4.
+foreach(threads 1 4 8)
+  execute_process(COMMAND ${ITM_BIN} snapshot --scale tiny --seed 7
+                          --threads ${threads}
+                          --out ${WORK_DIR}/snap_t${threads}.itms
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "itm snapshot --threads ${threads} failed: ${err}")
+  endif()
+endforeach()
+
+foreach(threads 4 8)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          ${WORK_DIR}/snap_t1.itms
+                          ${WORK_DIR}/snap_t${threads}.itms
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "snapshot differs between --threads 1 and --threads ${threads}; "
+            ".itms files must be byte-identical for every thread count")
+  endif()
+endforeach()
+
+# Serve the same batch from two of the snapshots: answers must match.
+file(WRITE ${WORK_DIR}/snap_queries.txt
+     "stats\ntop-as 5\ntop-country 3\nas 0\noutage 14\ncountry 0\n")
+foreach(threads 1 8)
+  execute_process(COMMAND ${ITM_BIN} serve
+                          --snapshot ${WORK_DIR}/snap_t${threads}.itms
+                          --queries ${WORK_DIR}/snap_queries.txt
+                  RESULT_VARIABLE rc
+                  OUTPUT_FILE ${WORK_DIR}/snap_answers_t${threads}.txt
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "itm serve failed on snap_t${threads}.itms: ${err}")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/snap_answers_t1.txt
+                        ${WORK_DIR}/snap_answers_t8.txt
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "serve answers differ between snapshots")
+endif()
+file(READ ${WORK_DIR}/snap_answers_t1.txt answers)
+if(NOT answers MATCHES "stats ases=")
+  message(FATAL_ERROR "serve output missing stats answer: ${answers}")
+endif()
+if(answers MATCHES "error:")
+  message(FATAL_ERROR "serve batch produced an error answer: ${answers}")
+endif()
+
+# Corrupted input must be rejected with exit 4, never crash or half-load.
+# (Byte-level truncation and bit-flip coverage lives in the serve_tests
+# gtest suite, which can mint binary mutations; here we gate the CLI path.)
+file(WRITE ${WORK_DIR}/snap_garbage.itms "this is not a snapshot at all")
+execute_process(COMMAND ${ITM_BIN} serve
+                        --snapshot ${WORK_DIR}/snap_garbage.itms
+                        --queries ${WORK_DIR}/snap_queries.txt
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR
+          "serving a garbage snapshot exited ${rc}, expected 4")
+endif()
+file(WRITE ${WORK_DIR}/snap_empty.itms "")
+execute_process(COMMAND ${ITM_BIN} serve
+                        --snapshot ${WORK_DIR}/snap_empty.itms
+                        --queries ${WORK_DIR}/snap_queries.txt
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR "serving an empty snapshot exited ${rc}, expected 4")
+endif()
+
+# Usage errors keep the CLI's exit-code discipline.
+execute_process(COMMAND ${ITM_BIN} snapshot RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "itm snapshot without --out exited ${rc}, expected 2")
+endif()
+execute_process(COMMAND ${ITM_BIN} serve RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "itm serve without inputs exited ${rc}, expected 2")
+endif()
