@@ -12,9 +12,14 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include <sys/resource.h>
 
 #include "core/report.h"
+#include "core/scale.h"
 #include "core/scenario.h"
 #include "core/traffic_map.h"
 #include "core/workload.h"
@@ -88,8 +93,76 @@ inline core::ScenarioConfig config_from_args(int argc, char** argv) {
   std::string scale = argc > 2 ? argv[2] : "default";
   if (scale == "tiny") return core::tiny_config(seed);
   if (scale == "large") return core::large_config(seed);
+  if (scale == "medium" || scale == "huge") {
+    // Pinned bench tiers carry their own seed: a tier names one exact
+    // world, so BENCH records stay comparable across commits. A seed
+    // argument is ignored here on purpose.
+    const auto tier = *core::parse_scale_tier(scale);
+    if (argc > 1 && seed != core::tier_seed(tier)) {
+      std::cerr << "[bench] scale '" << scale << "' pins seed "
+                << core::tier_seed(tier) << "; ignoring --seed " << seed
+                << "\n";
+    }
+    return core::tier_config(tier);
+  }
   return core::default_config(seed);
 }
+
+// Peak resident set size of this process so far, in bytes (Linux
+// ru_maxrss is in KiB). 0 when the kernel refuses the query.
+inline std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+// Single-line machine-readable bench record (the BENCH_<tier>.json format):
+// insertion-ordered keys, integers verbatim, doubles with enough digits to
+// round-trip. tools/check_bench.sh parses and diffs these records, so keys
+// are part of the bench schema — add, don't rename.
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string bench_name) {
+    str("bench", std::move(bench_name));
+  }
+
+  BenchRecord& str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+    return *this;
+  }
+  BenchRecord& num(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchRecord& num(const std::string& key, double value) {
+    std::ostringstream out;
+    out.precision(10);
+    out << value;
+    fields_.emplace_back(key, out.str());
+    return *this;
+  }
+
+  // The record as one JSON line (trailing newline included).
+  [[nodiscard]] std::string line() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}\n";
+    return out;
+  }
+
+  // Writes the line to `path` and echoes it to stderr.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << line();
+    std::cerr << "[bench] wrote " << path << ": " << line();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline std::unique_ptr<core::Scenario> make_scenario(int argc, char** argv) {
   const auto config = config_from_args(argc, argv);

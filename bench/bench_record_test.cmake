@@ -1,0 +1,25 @@
+# The `ctest -L bench` gate: run the substrate_scale bench at the tiny tier
+# and diff its single-line JSON record against the committed BENCH_tiny.json
+# (exact structural fields, banded layout/perf fields — tools/bench_diff.py
+# documents the classes). Keeps the perf ledger honest: a substrate change
+# that shifts deterministic counts or regresses the layout shows up here,
+# not months later when someone re-reads the trajectory.
+execute_process(COMMAND ${SUBSTRATE_BIN} tiny ${WORK_DIR}/BENCH_tiny.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "substrate_scale tiny failed (${rc}): ${err}")
+endif()
+
+find_program(PYTHON3 python3)
+if(NOT PYTHON3)
+  message(FATAL_ERROR "python3 not found; bench record diff needs it")
+endif()
+
+execute_process(COMMAND ${PYTHON3} ${REPO_DIR}/tools/bench_diff.py
+                        ${REPO_DIR}/BENCH_tiny.json
+                        ${WORK_DIR}/BENCH_tiny.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench record drift:\n${out}${err}")
+endif()
+message(STATUS "${out}")

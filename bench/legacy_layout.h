@@ -1,0 +1,107 @@
+// Bench-only copy of the pre-SoA (PR 6) node-per-bit prefix trie, kept so
+// bench/substrate_scale can measure the bytes/prefix improvement of the
+// path-compressed arena trie against the exact layout it replaced, in the
+// same binary and on the same data. Nothing outside the bench links this;
+// production code uses itm::PrefixTrie (src/net/prefix_trie.h).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "net/ipv4.h"
+
+namespace itm::bench {
+
+// The original PrefixTrie storage shape: one heap node per prefix *bit*,
+// two owning pointers per node. A /24 costs up to 24 nodes; storage is
+// O(total bits), not O(entries).
+template <typename Value>
+class LegacyPrefixTrie {
+ public:
+  LegacyPrefixTrie() : root_(std::make_unique<Node>()) { node_count_ = 1; }
+
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    Node* node = descend_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  [[nodiscard]] const Value* find(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      node = node->children[bit_at(prefix.base(), depth)].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, Value>> longest_match(
+      Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    const Node* best = node->value ? node : nullptr;
+    std::uint8_t best_depth = 0;
+    for (std::uint8_t depth = 0; depth < 32; ++depth) {
+      node = node->children[bit_at(addr, depth)].get();
+      if (node == nullptr) break;
+      if (node->value) {
+        best = node;
+        best_depth = static_cast<std::uint8_t>(depth + 1);
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Ipv4Prefix(addr, best_depth), *best->value);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  // Actual heap bytes of the node chain: every node is its own allocation,
+  // so the real cost per node is what malloc handed back (chunk rounding +
+  // header), not sizeof(Node). Measured on the root node via
+  // malloc_usable_size where available; sizeof(Node) as the (flattering)
+  // fallback. The arena trie's memory_bytes() has no per-node allocations,
+  // so the comparison stays apples-to-apples heap usage.
+  [[nodiscard]] std::size_t memory_bytes() const {
+#if defined(__GLIBC__)
+    const std::size_t per_node = malloc_usable_size(root_.get()) +
+                                 sizeof(std::size_t);  // + chunk header
+#else
+    const std::size_t per_node = sizeof(Node);
+#endif
+    return node_count_ * per_node;
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  static int bit_at(Ipv4Addr addr, std::uint8_t depth) {
+    return (addr.bits() >> (31 - depth)) & 1u;
+  }
+
+  Node* descend_create(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = bit_at(prefix.base(), depth);
+      if (node->children[bit] == nullptr) {
+        node->children[bit] = std::make_unique<Node>();
+        ++node_count_;
+      }
+      node = node->children[bit].get();
+    }
+    return node;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace itm::bench

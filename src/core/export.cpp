@@ -31,6 +31,18 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+// AS display name through the layout the map was built with. Both branches
+// must return the same bytes (the SoA string table interns the generator's
+// names verbatim); the layout-equivalence test diffs the whole export to
+// hold this.
+std::string_view as_name(const TrafficMap& map, const Scenario& scenario,
+                         Asn asn) {
+  if (map.layout == DataLayout::kSoa) {
+    return scenario.topo().table.name(asn);
+  }
+  return scenario.topo().graph.info(asn).name;
+}
+
 }  // namespace
 
 std::string csv_escape(std::string_view field) {
@@ -53,7 +65,6 @@ std::string csv_escape(std::string_view field) {
 
 void export_map_json(const TrafficMap& map, const Scenario& scenario,
                      std::ostream& os) {
-  const auto& topo = scenario.topo();
   os << std::setprecision(10);
   os << "{\n";
   os << "  \"generator\": \"itm\",\n";
@@ -70,7 +81,7 @@ void export_map_json(const TrafficMap& map, const Scenario& scenario,
   for (std::size_t i = 0; i < map.client_ases.size(); ++i) {
     const Asn asn = map.client_ases[i];
     os << "    {\"asn\": " << asn.value() << ", \"name\": \""
-       << json_escape(topo.graph.info(asn).name) << "\", \"activity\": "
+       << json_escape(as_name(map, scenario, asn)) << "\", \"activity\": "
        << map.activity.score(asn) << "}";
     os << (i + 1 < map.client_ases.size() ? ",\n" : "\n");
   }
@@ -114,9 +125,8 @@ void export_activity_csv(const TrafficMap& map, const Scenario& scenario,
                          std::ostream& os) {
   os << "asn,name,activity_score\n";
   for (const Asn asn : map.client_ases) {
-    os << asn.value() << ","
-       << csv_escape(scenario.topo().graph.info(asn).name) << ","
-       << map.activity.score(asn) << "\n";
+    os << asn.value() << "," << csv_escape(as_name(map, scenario, asn))
+       << "," << map.activity.score(asn) << "\n";
   }
 }
 
@@ -148,9 +158,9 @@ void export_recommended_links_csv(const TrafficMap& map,
   os << "asn_a,name_a,asn_b,name_b,score\n";
   for (const auto& link : map.recommended_links) {
     os << link.a.value() << ","
-       << csv_escape(scenario.topo().graph.info(link.a).name) << ","
+       << csv_escape(as_name(map, scenario, link.a)) << ","
        << link.b.value() << ","
-       << csv_escape(scenario.topo().graph.info(link.b).name) << ","
+       << csv_escape(as_name(map, scenario, link.b)) << ","
        << link.score << "\n";
   }
 }

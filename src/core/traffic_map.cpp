@@ -88,10 +88,20 @@ class DnsStatsDelta {
 
 }  // namespace
 
+const char* to_string(DataLayout layout) {
+  switch (layout) {
+    case DataLayout::kLegacy: return "legacy";
+    case DataLayout::kSoa: return "soa";
+  }
+  return "unknown";
+}
+
 TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   Scenario& s = *scenario_;
   TrafficMap map;
+  map.layout = options.layout;
   timings_ = MapBuildTimings{};
+  obs::gauge_set("map.scale_tier", static_cast<std::int64_t>(options.tier));
   const auto stage_begin = [&options](const char* stage) {
     if (options.on_stage) options.on_stage(stage);
   };
@@ -200,9 +210,15 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
     for (std::size_t i = 0; i < n_transit_feeders; ++i) {
       feeders.push_back(topo.transits[i]);
     }
+    const std::size_t stride =
+        std::max<std::size_t>(1, options.routing_destination_stride);
     std::vector<Asn> destinations;
-    destinations.reserve(topo.graph.size());
-    for (const auto& as : topo.graph.ases()) destinations.push_back(as.asn);
+    destinations.reserve(topo.graph.size() / stride + 1);
+    for (std::size_t i = 0; i < topo.graph.size(); i += stride) {
+      destinations.push_back(Asn(static_cast<std::uint32_t>(i)));
+    }
+    obs::gauge_set("map.routing.destinations",
+                   static_cast<std::int64_t>(destinations.size()));
     map.public_view =
         routing::collect_public_view(bgp, feeders, destinations, executor);
     map.observed_graph =

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/scale.h"
 #include "core/scenario.h"
 #include "core/workload.h"
 #include "inference/activity.h"
@@ -29,8 +30,25 @@
 
 namespace itm::core {
 
+// Which per-AS access path the map's consumers (JSON export, snapshot
+// compilation) read topology attributes through:
+//   kLegacy — the AoS AsGraph/AsInfo structs, the pre-SoA code shape;
+//   kSoa    — the flat topology::AsTable columns and its interned strings.
+// Both paths are kept because the determinism contract requires them to be
+// byte-identical (DESIGN.md decision #10); the layout-equivalence test
+// builds the same map through each and diffs every export.
+enum class DataLayout : std::uint8_t { kLegacy, kSoa };
+
+[[nodiscard]] const char* to_string(DataLayout layout);
+
 struct MapBuildOptions {
   WorkloadConfig workload;
+  // Access-path selector recorded on the built map; kSoa is the default
+  // and the scale-friendly path.
+  DataLayout layout = DataLayout::kSoa;
+  // Scale tier this build is part of (informational: recorded in metrics so
+  // bench output is self-describing; tier_build_options() sets the knobs).
+  ScaleTier tier = ScaleTier::kTiny;
   scan::CacheProbeConfig probing;
   // Cache-probing sweeps, spread evenly across the day.
   std::size_t probe_rounds = 16;
@@ -40,6 +58,13 @@ struct MapBuildOptions {
   std::size_t recommend_links = 400;
   // Fraction of transit ASes feeding route collectors.
   double collector_feeder_fraction = 0.15;
+  // Route-collection destination sampling: keep every k-th AS (dense ASN
+  // order) as a BGP destination. 1 = every AS (the legacy behaviour).
+  // Collecting a view is O(destinations x (V + E)), so larger tiers use a
+  // stride to stay inside a CI budget; sampling by stride is deterministic
+  // and covers all AS types (ASNs are assigned per type in contiguous
+  // blocks).
+  std::size_t routing_destination_stride = 1;
   // Worker threads for the sharded stages (cache probing, TLS scan, ECS
   // mapping, BGP propagation). 0 = hardware concurrency; 1 = the exact
   // legacy serial path. Output is byte-identical for every value — threads
@@ -84,6 +109,11 @@ struct OutageImpact {
 
 class TrafficMap {
  public:
+  // Access path the map was built with (copied from MapBuildOptions);
+  // consumers branch on this so legacy-vs-SoA byte equivalence stays
+  // testable.
+  DataLayout layout = DataLayout::kSoa;
+
   // ---- Component 1: users ----
   std::vector<Ipv4Prefix> client_prefixes;
   std::vector<Asn> client_ases;  // combined prefix- and resolver-derived

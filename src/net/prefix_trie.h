@@ -1,11 +1,20 @@
-// Binary (Patricia-style path of single bits) trie keyed by IPv4 prefixes,
-// supporting exact-match insert/lookup and longest-prefix match — the core
-// lookup structure for routing tables, address allocation and ECS scoping.
+// Path-compacted binary trie keyed by IPv4 prefixes, supporting exact-match
+// insert/lookup and longest-prefix match — the core lookup structure for
+// routing tables, address allocation and ECS scoping.
+//
+// Storage is an index-linked arena (one contiguous std::vector of nodes)
+// instead of heap-allocated node-per-bit chains: each node carries the full
+// compressed prefix it represents, so a /24 entry under an otherwise empty
+// branch costs one node, not twenty-four. This is what lets ~1M announced
+// prefixes fit in tens of megabytes (DESIGN.md decision #10); the previous
+// one-node-per-bit layout spent ~30x more memory and a pointer dereference
+// per bit of every lookup.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -17,23 +26,21 @@ namespace itm {
 template <typename Value>
 class PrefixTrie {
  public:
-  PrefixTrie() : root_(std::make_unique<Node>()) {}
+  PrefixTrie() { clear(); }
 
   // Inserts or overwrites the value at an exact prefix.
   void insert(const Ipv4Prefix& prefix, Value value) {
-    Node* node = descend_create(prefix);
-    if (!node->value) ++size_;
-    node->value = std::move(value);
+    Node& node = nodes_[descend_create(prefix)];
+    if (!node.value) ++size_;
+    node.value = std::move(value);
   }
 
   // Exact-match lookup.
   [[nodiscard]] const Value* find(const Ipv4Prefix& prefix) const {
-    const Node* node = root_.get();
-    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
-      node = node->child(bit_at(prefix.base(), depth));
-      if (node == nullptr) return nullptr;
-    }
-    return node->value ? &*node->value : nullptr;
+    const std::uint32_t idx = descend_exact(prefix);
+    if (idx == kNil) return nullptr;
+    const Node& node = nodes_[idx];
+    return node.value ? &*node.value : nullptr;
   }
 
   [[nodiscard]] Value* find(const Ipv4Prefix& prefix) {
@@ -44,59 +51,31 @@ class PrefixTrie {
   // value, or nullopt when no covering prefix exists.
   [[nodiscard]] std::optional<std::pair<Ipv4Prefix, std::reference_wrapper<const Value>>>
   longest_match(Ipv4Addr addr) const {
-    const Node* node = root_.get();
-    const Node* best = node->value ? node : nullptr;
-    std::uint8_t best_depth = 0;
-    for (std::uint8_t depth = 0; depth < 32; ++depth) {
-      node = node->child(bit_at(addr, depth));
-      if (node == nullptr) break;
-      if (node->value) {
-        best = node;
-        best_depth = static_cast<std::uint8_t>(depth + 1);
-      }
-    }
-    if (best == nullptr) return std::nullopt;
-    return std::make_pair(Ipv4Prefix(addr, best_depth),
-                          std::cref(*best->value));
+    return walk_covering(addr, 32);
   }
 
   // Longest *covering* prefix of a prefix (the most-specific entry whose
   // prefix contains the query prefix, possibly the query itself).
   [[nodiscard]] std::optional<std::pair<Ipv4Prefix, std::reference_wrapper<const Value>>>
   longest_covering(const Ipv4Prefix& prefix) const {
-    const Node* node = root_.get();
-    const Node* best = node->value ? node : nullptr;
-    std::uint8_t best_depth = 0;
-    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
-      node = node->child(bit_at(prefix.base(), depth));
-      if (node == nullptr) break;
-      if (node->value) {
-        best = node;
-        best_depth = static_cast<std::uint8_t>(depth + 1);
-      }
-    }
-    if (best == nullptr) return std::nullopt;
-    return std::make_pair(Ipv4Prefix(prefix.base(), best_depth),
-                          std::cref(*best->value));
+    return walk_covering(prefix.base(), prefix.length());
   }
 
-  // Removes an exact prefix; returns true when an entry was removed.
+  // Removes an exact prefix; returns true when an entry was removed. The
+  // node stays in the arena as a valueless branch point (the arena is
+  // append-only); lookups treat it as absent.
   bool erase(const Ipv4Prefix& prefix) {
-    Node* node = root_.get();
-    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
-      node = node->child(bit_at(prefix.base(), depth));
-      if (node == nullptr) return false;
-    }
-    if (!node->value) return false;
-    node->value.reset();
+    const std::uint32_t idx = descend_exact(prefix);
+    if (idx == kNil || !nodes_[idx].value) return false;
+    nodes_[idx].value.reset();
     --size_;
     return true;
   }
 
-  // Visits every (prefix, value) in lexicographic prefix order.
+  // Visits every (prefix, value) in lexicographic (base, length) order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    visit(root_.get(), Ipv4Prefix(Ipv4Addr(0), 0), fn);
+    visit(kRoot, fn);
   }
 
   // All entries as a vector (mostly for tests and reporting).
@@ -110,54 +89,155 @@ class PrefixTrie {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  // Arena nodes currently allocated (compacted branch points, not bits).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  // Pre-sizes the arena for `entries` prefixes. A path-compressed trie
+  // needs at most 2*entries+1 nodes (every entry adds one leaf and at most
+  // one fork), so a bulk loader that knows its count avoids both the
+  // doubling-growth copies and the final capacity slack.
+  void reserve(std::size_t entries) { nodes_.reserve(2 * entries + 1); }
+
+  // Heap bytes held by the arena; the substrate-scale bench reports this as
+  // bytes/prefix.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node);
+  }
+
   void clear() {
-    root_ = std::make_unique<Node>();
+    nodes_.clear();
+    nodes_.push_back(Node{Ipv4Prefix(Ipv4Addr(0), 0), {kNil, kNil}, {}});
     size_ = 0;
   }
 
  private:
-  struct Node {
-    std::optional<Value> value;
-    std::unique_ptr<Node> children[2];
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kRoot = 0;
 
-    [[nodiscard]] const Node* child(int bit) const {
-      return children[bit].get();
-    }
-    [[nodiscard]] Node* child(int bit) { return children[bit].get(); }
+  struct Node {
+    // The full (compressed) prefix this node represents.
+    Ipv4Prefix prefix;
+    // Children diverge at bit `prefix.length()`; each child's prefix is a
+    // strict extension of this one.
+    std::uint32_t children[2];
+    std::optional<Value> value;
   };
 
   static int bit_at(Ipv4Addr addr, std::uint8_t depth) {
     return (addr.bits() >> (31 - depth)) & 1u;
   }
 
-  Node* descend_create(const Ipv4Prefix& prefix) {
-    Node* node = root_.get();
-    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
-      const int bit = bit_at(prefix.base(), depth);
-      if (node->children[bit] == nullptr) {
-        node->children[bit] = std::make_unique<Node>();
-      }
-      node = node->children[bit].get();
-    }
-    return node;
+  // Length of the longest common prefix of a and b, capped at max_len.
+  static std::uint8_t common_prefix_len(Ipv4Addr a, Ipv4Addr b,
+                                        std::uint8_t max_len) {
+    const std::uint32_t diff = a.bits() ^ b.bits();
+    const int lead = diff == 0 ? 32 : std::countl_zero(diff);
+    return static_cast<std::uint8_t>(
+        lead < static_cast<int>(max_len) ? lead : max_len);
   }
 
+  // Walks to the node whose prefix equals `prefix` exactly, or kNil.
+  [[nodiscard]] std::uint32_t descend_exact(const Ipv4Prefix& prefix) const {
+    std::uint32_t idx = kRoot;
+    while (true) {
+      const Node& node = nodes_[idx];
+      if (node.prefix.length() == prefix.length()) {
+        return node.prefix == prefix ? idx : kNil;
+      }
+      const std::uint32_t child =
+          node.children[bit_at(prefix.base(), node.prefix.length())];
+      if (child == kNil) return kNil;
+      const Node& c = nodes_[child];
+      // The child's compressed label must lie on the query's path.
+      if (c.prefix.length() > prefix.length() ||
+          !c.prefix.contains(prefix.base())) {
+        return kNil;
+      }
+      idx = child;
+    }
+  }
+
+  // Deepest valued node whose prefix covers `addr` with length <= max_len.
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, std::reference_wrapper<const Value>>>
+  walk_covering(Ipv4Addr addr, std::uint8_t max_len) const {
+    const Node* best = nullptr;
+    std::uint32_t idx = kRoot;
+    while (idx != kNil) {
+      const Node& node = nodes_[idx];
+      if (node.value) best = &node;
+      if (node.prefix.length() >= max_len) break;
+      const std::uint32_t child =
+          node.children[bit_at(addr, node.prefix.length())];
+      if (child == kNil) break;
+      const Node& c = nodes_[child];
+      if (c.prefix.length() > max_len || !c.prefix.contains(addr)) break;
+      idx = child;
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(best->prefix, std::cref(*best->value));
+  }
+
+  // Finds or creates the node for `prefix`, splitting compressed edges as
+  // needed. Returns its arena index.
+  std::uint32_t descend_create(const Ipv4Prefix& prefix) {
+    std::uint32_t idx = kRoot;
+    while (true) {
+      // Re-read through nodes_ each step: new_node() may reallocate.
+      if (nodes_[idx].prefix.length() == prefix.length()) return idx;
+      const int bit = bit_at(prefix.base(), nodes_[idx].prefix.length());
+      const std::uint32_t child = nodes_[idx].children[bit];
+      if (child == kNil) {
+        const std::uint32_t leaf = new_node(prefix);
+        nodes_[idx].children[bit] = leaf;
+        return leaf;
+      }
+      const Ipv4Prefix child_prefix = nodes_[child].prefix;
+      const std::uint8_t common = common_prefix_len(
+          child_prefix.base(), prefix.base(),
+          std::min(child_prefix.length(), prefix.length()));
+      if (common == child_prefix.length()) {
+        // The child's label lies fully on our path; descend.
+        idx = child;
+        continue;
+      }
+      if (common == prefix.length()) {
+        // `prefix` sits on the edge above the child: new node takes the
+        // child as its single descendant.
+        const std::uint32_t mid = new_node(prefix);
+        nodes_[mid].children[bit_at(child_prefix.base(), prefix.length())] =
+            child;
+        nodes_[idx].children[bit] = mid;
+        return mid;
+      }
+      // The paths diverge inside the edge: split at the fork, then hang both
+      // the old child and a fresh leaf for `prefix` off the fork node.
+      const std::uint32_t fork =
+          new_node(Ipv4Prefix(prefix.base(), common));
+      const std::uint32_t leaf = new_node(prefix);
+      nodes_[fork].children[bit_at(child_prefix.base(), common)] = child;
+      nodes_[fork].children[bit_at(prefix.base(), common)] = leaf;
+      nodes_[idx].children[bit] = fork;
+      return leaf;
+    }
+  }
+
+  std::uint32_t new_node(const Ipv4Prefix& prefix) {
+    nodes_.push_back(Node{prefix, {kNil, kNil}, {}});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  // Preorder, bit-0 child before bit-1: yields (base, length) sorted order,
+  // the same order std::map<Ipv4Prefix, V> iterates in.
   template <typename Fn>
-  static void visit(const Node* node, Ipv4Prefix at, Fn& fn) {
-    if (node->value) fn(at, *node->value);
-    for (int bit = 0; bit < 2; ++bit) {
-      if (node->children[bit]) {
-        const std::uint8_t len = static_cast<std::uint8_t>(at.length() + 1);
-        const std::uint32_t next_base =
-            at.base().bits() |
-            (static_cast<std::uint32_t>(bit) << (32 - len));
-        visit(node->children[bit].get(), Ipv4Prefix(Ipv4Addr(next_base), len),
-              fn);
-      }
+  void visit(std::uint32_t idx, Fn& fn) const {
+    const Node& node = nodes_[idx];
+    if (node.value) fn(node.prefix, *node.value);
+    for (const std::uint32_t child : node.children) {
+      if (child != kNil) visit(child, fn);
     }
   }
 
-  std::unique_ptr<Node> root_;
+  std::vector<Node> nodes_;
   std::size_t size_ = 0;
 };
 

@@ -1,9 +1,9 @@
 #include "serve/snapshot_writer.h"
 
 #include <algorithm>
-#include <map>
 #include <unordered_set>
 
+#include "net/interner.h"
 #include "net/ordered.h"
 #include "obs/metrics.h"
 #include "serve/format.h"
@@ -11,26 +11,6 @@
 namespace itm::serve {
 
 namespace {
-
-// Deduplicating string-table builder; first-insertion order is the table
-// order, and insertions happen in deterministic (ASN-/record-) order.
-class StringTable {
- public:
-  std::uint32_t intern(const std::string& s) {
-    const auto it = index_.find(s);
-    if (it != index_.end()) return it->second;
-    const auto ref = static_cast<std::uint32_t>(strings_.size());
-    strings_.push_back(s);
-    index_.emplace(s, ref);
-    return ref;
-  }
-
-  [[nodiscard]] std::vector<std::string> take() { return std::move(strings_); }
-
- private:
-  std::vector<std::string> strings_;
-  std::map<std::string, std::uint32_t> index_;
-};
 
 void write_section(ByteWriter& tail, SectionId id, const ByteWriter& payload,
                    std::vector<std::pair<std::uint32_t, std::uint64_t>>&
@@ -44,8 +24,16 @@ void write_section(ByteWriter& tail, SectionId id, const ByteWriter& payload,
 Snapshot compile_snapshot(const core::TrafficMap& map,
                           const core::Scenario& scenario) {
   Snapshot snap;
-  StringTable strings;
   const auto& topo = scenario.topo();
+  const bool soa = map.layout == core::DataLayout::kSoa;
+
+  // Under the SoA layout the AsTable already interned AS names (dense ASN
+  // order) and country names — exactly this file's string-section prefix —
+  // so seed the table from it and only intern operator names below. The
+  // legacy path interns from scratch in the same order; both must produce
+  // byte-identical sections (layout-equivalence test).
+  net::StringTable strings =
+      soa ? topo.table.strings() : net::StringTable{};
 
   snap.seed = scenario.config().seed;
   snap.addresses_probed = map.tls.addresses_probed;
@@ -56,22 +44,38 @@ Snapshot compile_snapshot(const core::TrafficMap& map,
   std::unordered_set<std::uint32_t> client_set;
   for (const Asn asn : map.client_ases) client_set.insert(asn.value());
   snap.ases.reserve(topo.graph.size());
-  for (const auto& as : topo.graph.ases()) {
-    AsRecord rec;
-    rec.asn = as.asn.value();
-    rec.name_ref = strings.intern(as.name);
-    rec.country = as.country.value();
-    rec.type = static_cast<std::uint32_t>(as.type);
-    rec.flags = client_set.contains(as.asn.value()) ? 1u : 0u;
-    rec.activity = map.activity.score(as.asn);
-    snap.ases.push_back(rec);
+  if (soa) {
+    const auto& table = topo.table;
+    for (std::uint32_t i = 0; i < table.size(); ++i) {
+      const Asn asn{i};
+      AsRecord rec;
+      rec.asn = i;
+      rec.name_ref = table.name_ref(asn);
+      rec.country = table.country(asn).value();
+      rec.type = static_cast<std::uint32_t>(table.type(asn));
+      rec.flags = client_set.contains(i) ? 1u : 0u;
+      rec.activity = map.activity.score(asn);
+      snap.ases.push_back(rec);
+    }
+  } else {
+    for (const auto& as : topo.graph.ases()) {
+      AsRecord rec;
+      rec.asn = as.asn.value();
+      rec.name_ref = strings.intern(as.name);
+      rec.country = as.country.value();
+      rec.type = static_cast<std::uint32_t>(as.type);
+      rec.flags = client_set.contains(as.asn.value()) ? 1u : 0u;
+      rec.activity = map.activity.score(as.asn);
+      snap.ases.push_back(rec);
+    }
   }
 
   snap.countries.reserve(topo.geography.countries().size());
   for (const auto& country : topo.geography.countries()) {
     CountryRecord rec;
     rec.country = country.id.value();
-    rec.name_ref = strings.intern(country.name);
+    rec.name_ref = soa ? topo.table.country_name_ref(country.id)
+                       : strings.intern(country.name);
     snap.countries.push_back(rec);
   }
 

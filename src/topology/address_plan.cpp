@@ -20,6 +20,7 @@ AddressPlan AddressPlan::build(const AsGraph& graph,
                                const AddressPlanConfig& config) {
   AddressPlan plan;
   plan.per_as_.reserve(graph.size());
+  plan.origins_.reserve(graph.size());  // one aggregate per AS
 
   // Allocation cursor in units of /24s, starting at 1.0.0.0.
   std::uint32_t cursor_24 = 1u << 16;  // 1.0.0.0 is the 65536-th /24

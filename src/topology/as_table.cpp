@@ -1,0 +1,185 @@
+#include "topology/as_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.h"
+
+namespace itm::topology {
+
+namespace {
+
+// Customer-cone sizes for every AS with one shared scratch pad: an
+// epoch-stamped visited array avoids a per-AS O(V) clear, so the total cost
+// is the cone mass (sum of cone sizes), not V * cone work.
+std::vector<std::uint32_t> cone_sizes(const AsGraph& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::uint32_t> sizes(n, 0);
+  std::vector<std::uint32_t> visited_epoch(n, 0);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t epoch = static_cast<std::uint32_t>(i) + 1;
+    std::uint32_t count = 0;
+    stack.assign(1, static_cast<std::uint32_t>(i));
+    visited_epoch[i] = epoch;
+    while (!stack.empty()) {
+      const std::uint32_t at = stack.back();
+      stack.pop_back();
+      ++count;
+      for (const auto& nb : graph.neighbors(Asn(at))) {
+        if (nb.relation != Relation::kCustomer) continue;
+        const std::uint32_t c = nb.asn.value();
+        if (visited_epoch[c] == epoch) continue;
+        visited_epoch[c] = epoch;
+        stack.push_back(c);
+      }
+    }
+    sizes[i] = count;
+  }
+  return sizes;
+}
+
+// Longest-customer-chain ranks over the provider DAG: rank 0 for ASes with
+// no customers, otherwise 1 + max rank over customers. Computed with a
+// Kahn-style sweep over customer->provider edges (the generator only builds
+// acyclic transit relationships; a defensive assert guards the invariant).
+std::vector<std::uint32_t> customer_ranks(const AsGraph& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::uint32_t> rank(n, 0);
+  std::vector<std::uint32_t> pending(n, 0);  // unresolved customers
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& nb : graph.neighbors(Asn(i))) {
+      if (nb.relation == Relation::kCustomer) ++pending[i];
+    }
+  }
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) queue.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::size_t resolved = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t at = queue[head];
+    ++resolved;
+    for (const auto& nb : graph.neighbors(Asn(at))) {
+      if (nb.relation != Relation::kProvider) continue;
+      const std::uint32_t p = nb.asn.value();
+      rank[p] = std::max(rank[p], rank[at] + 1);
+      if (--pending[p] == 0) queue.push_back(p);
+    }
+  }
+  assert(resolved == n && "customer-provider graph must be acyclic");
+  (void)resolved;
+  return rank;
+}
+
+}  // namespace
+
+AsTable AsTable::build(const AsGraph& graph, const Geography& geography) {
+  AsTable t;
+  const std::size_t n = graph.size();
+  t.type_.reserve(n);
+  t.policy_.reserve(n);
+  t.profile_.reserve(n);
+  t.country_.reserve(n);
+  t.home_city_.reserve(n);
+  t.name_ref_.reserve(n);
+  t.size_factor_.reserve(n);
+  t.adj_offset_.reserve(n + 1);
+  t.presence_offset_.reserve(n + 1);
+  t.facility_offset_.reserve(n + 1);
+
+  // Scalar columns + string interning in dense ASN order (the snapshot's
+  // string-section order: AS names first, then country names).
+  for (const auto& as : graph.ases()) {
+    t.type_.push_back(as.type);
+    t.policy_.push_back(as.policy);
+    t.profile_.push_back(as.profile);
+    t.country_.push_back(as.country.value());
+    t.home_city_.push_back(as.home_city.value());
+    t.name_ref_.push_back(t.strings_.intern(as.name));
+    t.size_factor_.push_back(as.size_factor);
+  }
+  t.country_name_ref_.reserve(geography.countries().size());
+  for (const auto& country : geography.countries()) {
+    t.country_name_ref_.push_back(t.strings_.intern(country.name));
+  }
+
+  // CSR adjacency, preserving AsGraph's per-AS neighbor order.
+  std::size_t total_neighbors = 0;
+  std::size_t total_presence = 0;
+  std::size_t total_facilities = 0;
+  for (const auto& as : graph.ases()) {
+    total_neighbors += graph.neighbors(as.asn).size();
+    total_presence += as.presence_cities.size();
+    total_facilities += as.facilities.size();
+  }
+  t.adj_asn_.reserve(total_neighbors);
+  t.adj_relation_.reserve(total_neighbors);
+  t.adj_link_.reserve(total_neighbors);
+  t.presence_cities_.reserve(total_presence);
+  t.facilities_.reserve(total_facilities);
+  t.adj_offset_.push_back(0);
+  t.presence_offset_.push_back(0);
+  t.facility_offset_.push_back(0);
+  for (const auto& as : graph.ases()) {
+    for (const auto& nb : graph.neighbors(as.asn)) {
+      t.adj_asn_.push_back(nb.asn.value());
+      t.adj_relation_.push_back(nb.relation);
+      t.adj_link_.push_back(nb.link_index);
+    }
+    t.adj_offset_.push_back(static_cast<std::uint32_t>(t.adj_asn_.size()));
+    t.presence_cities_.insert(t.presence_cities_.end(),
+                              as.presence_cities.begin(),
+                              as.presence_cities.end());
+    t.presence_offset_.push_back(
+        static_cast<std::uint32_t>(t.presence_cities_.size()));
+    t.facilities_.insert(t.facilities_.end(), as.facilities.begin(),
+                         as.facilities.end());
+    t.facility_offset_.push_back(
+        static_cast<std::uint32_t>(t.facilities_.size()));
+  }
+
+  t.cone_size_ = cone_sizes(graph);
+  t.rank_of_ = customer_ranks(graph);
+
+  // rank_to_asns flattened: bucket counts -> offsets -> fill in ASN order.
+  const std::uint32_t num_ranks =
+      n == 0 ? 0
+             : *std::max_element(t.rank_of_.begin(), t.rank_of_.end()) + 1;
+  t.rank_offset_.assign(num_ranks + 1, 0);
+  for (const std::uint32_t r : t.rank_of_) ++t.rank_offset_[r + 1];
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    t.rank_offset_[r + 1] += t.rank_offset_[r];
+  }
+  t.rank_ases_.resize(n);
+  std::vector<std::uint32_t> fill(t.rank_offset_.begin(),
+                                  t.rank_offset_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.rank_ases_[fill[t.rank_of_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  obs::gauge_set("topology.as_table.bytes",
+                 static_cast<std::int64_t>(t.memory_bytes()));
+  obs::gauge_set("topology.as_table.ranks",
+                 static_cast<std::int64_t>(num_ranks));
+  return t;
+}
+
+std::size_t AsTable::memory_bytes() const {
+  const auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  return vec_bytes(type_) + vec_bytes(policy_) + vec_bytes(profile_) +
+         vec_bytes(country_) + vec_bytes(home_city_) + vec_bytes(name_ref_) +
+         vec_bytes(size_factor_) + vec_bytes(cone_size_) +
+         vec_bytes(rank_of_) + vec_bytes(rank_offset_) +
+         vec_bytes(rank_ases_) + vec_bytes(adj_offset_) +
+         vec_bytes(adj_asn_) + vec_bytes(adj_relation_) +
+         vec_bytes(adj_link_) + vec_bytes(presence_offset_) +
+         vec_bytes(presence_cities_) + vec_bytes(facility_offset_) +
+         vec_bytes(facilities_) + vec_bytes(country_name_ref_) +
+         strings_.memory_bytes();
+}
+
+}  // namespace itm::topology

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "cdn/mapping.h"

@@ -23,25 +23,28 @@ UserBase UserBase::build(const topology::Topology& topo,
   }
 
   for (const Asn asn : topo.accesses) {
-    const auto& info = graph.info(asn);
+    // Scalar reads through the SoA table: the per-AS loop touches only the
+    // columns it needs instead of whole AsInfo structs.
+    const topology::AsTable& table = topo.table;
     const auto& addressing = topo.addresses.of(asn);
     const double country_adoption =
-        ub.country_public_dns_[info.country.value()];
+        ub.country_public_dns_[table.country(asn).value()];
 
     // Users cluster in the AS's presence cities, weighted by city size.
+    const auto presence = table.presence_cities(asn);
     std::vector<double> city_weights;
-    city_weights.reserve(info.presence_cities.size());
-    for (const CityId city : info.presence_cities) {
+    city_weights.reserve(presence.size());
+    for (const CityId city : presence) {
       city_weights.push_back(geo.city(city).population_weight + 0.01);
     }
 
-    const double density =
-        std::pow(std::max(0.05, info.size_factor), config.density_exponent);
+    const double density = std::pow(std::max(0.05, table.size_factor(asn)),
+                                    config.density_exponent);
     for (std::uint32_t i = 0; i < addressing.user_slash24s; ++i) {
       UserPrefix up;
       up.prefix = topo.addresses.user_slash24(asn, i);
       up.asn = asn;
-      up.city = info.presence_cities[rng.weighted_index(city_weights)];
+      up.city = presence[rng.weighted_index(city_weights)];
       up.users = std::min(
           250.0,
           density * rng.lognormal(config.users_mu, config.users_sigma));
@@ -57,10 +60,10 @@ UserBase UserBase::build(const topology::Topology& topo,
       ub.total_activity_ += up.activity;
       ub.as_users_[asn.value()] += up.users;
       ub.as_activity_[asn.value()] += up.activity;
-      ub.index_.emplace(up.prefix, ub.prefixes_.size());
       ub.prefixes_.push_back(up);
     }
   }
+  ub.finalize_index();
   return ub;
 }
 
@@ -71,19 +74,43 @@ UserBase UserBase::without_as(Asn excluded) const {
   out.country_public_dns_ = country_public_dns_;
   for (const auto& up : prefixes_) {
     if (up.asn == excluded) continue;
-    out.index_.emplace(up.prefix, out.prefixes_.size());
     out.prefixes_.push_back(up);
     out.total_users_ += up.users;
     out.total_activity_ += up.activity;
     out.as_users_[up.asn.value()] += up.users;
     out.as_activity_[up.asn.value()] += up.activity;
   }
+  out.finalize_index();
   return out;
 }
 
+void UserBase::finalize_index() {
+  index_.clear();
+  index_.reserve(prefixes_.size());
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    index_.emplace_back(prefixes_[i].prefix.base().bits(),
+                        static_cast<std::uint32_t>(i));
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
 const UserPrefix* UserBase::find(const Ipv4Prefix& slash24) const {
-  const auto it = index_.find(slash24);
-  return it == index_.end() ? nullptr : &prefixes_[it->second];
+  // User prefixes are exactly the /24s the generator allocated; any other
+  // mask length cannot be a user prefix.
+  if (slash24.length() != 24) return nullptr;
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(),
+      std::pair<std::uint32_t, std::uint32_t>{slash24.base().bits(), 0});
+  if (it == index_.end() || it->first != slash24.base().bits()) return nullptr;
+  return &prefixes_[it->second];
+}
+
+std::size_t UserBase::memory_bytes() const {
+  return prefixes_.capacity() * sizeof(UserPrefix) +
+         index_.capacity() * sizeof(index_[0]) +
+         (as_users_.capacity() + as_activity_.capacity() +
+          country_public_dns_.capacity()) *
+             sizeof(double);
 }
 
 }  // namespace itm::traffic

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "net/ids.h"
@@ -82,9 +81,19 @@ class UserBase {
   // used for what-if analysis. All other prefixes keep their exact values.
   [[nodiscard]] UserBase without_as(Asn excluded) const;
 
+  // Heap bytes of the prefix rows, flat index and per-AS aggregates.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
+  // Rebuilds index_ from prefixes_ (call after the prefix list stops
+  // changing).
+  void finalize_index();
+
   std::vector<UserPrefix> prefixes_;
-  std::unordered_map<Ipv4Prefix, std::size_t> index_;
+  // Flat /24-base -> prefixes_ slot, sorted by base for binary search: one
+  // contiguous allocation instead of a node-per-entry hash map (user /24s
+  // are the largest substrate collection; DESIGN.md decision #10).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> index_;
   std::vector<double> as_users_;
   std::vector<double> as_activity_;
   std::vector<double> country_public_dns_;

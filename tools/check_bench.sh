@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The bench-trajectory gate: smoke-runs the substrate_scale bench at the
+# tiny tier, validates the emitted single-line JSON record's schema, and
+# diffs it against the committed BENCH_tiny.json — structural fields must
+# match exactly, layout fields within a tight band, perf fields within a
+# wide band (tools/bench_diff.py documents the classes). Then runs the
+# bench-labeled ctest subset.
+#
+# The medium-tier record (BENCH_medium.json) is regenerated manually when
+# the substrate changes:  build/bench/substrate_scale medium BENCH_medium.json
+#
+# Usage: tools/check_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target substrate_scale
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+"$BUILD_DIR/bench/substrate_scale" tiny "$SCRATCH/BENCH_tiny.json" \
+    >/dev/null
+
+python3 tools/bench_diff.py BENCH_tiny.json "$SCRATCH/BENCH_tiny.json"
+
+ctest --test-dir "$BUILD_DIR" -L bench --output-on-failure -j"$(nproc)"

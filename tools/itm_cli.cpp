@@ -1,6 +1,6 @@
 // itm — command-line front end to the Internet-traffic-map toolkit.
 //
-//   itm generate [--seed N] [--scale tiny|default|large]
+//   itm generate [--seed N] [--scale tiny|default|large|medium|huge]
 //       Generate a synthetic Internet and print its inventory.
 //   itm map [--seed N] [--scale S] [--threads N] [--json FILE] [--csv PREFIX]
 //           [--metrics-out FILE] [--trace-out FILE] [--verbose]
@@ -46,6 +46,7 @@
 
 #include "core/export.h"
 #include "core/report.h"
+#include "core/scale.h"
 #include "core/scenario.h"
 #include "core/traffic_map.h"
 #include "core/whatif.h"
@@ -69,6 +70,8 @@ constexpr int kExitRuntime = 4;         // valid usage, failed to execute
 
 struct CliOptions {
   std::uint64_t seed = 42;
+  // True when --seed was given (pinned tiers keep their own seed otherwise).
+  bool seed_explicit = false;
   std::string scale = "default";
   // Worker threads for map builds: 0 = hardware concurrency, 1 = the exact
   // legacy serial path. Output is byte-identical for every value.
@@ -98,6 +101,7 @@ CliOptions parse(int argc, char** argv, int first) {
     };
     if (arg == "--seed") {
       options.seed = std::strtoull(next().c_str(), nullptr, 10);
+      options.seed_explicit = true;
     } else if (arg == "--scale") {
       options.scale = next();
     } else if (arg == "--threads") {
@@ -127,14 +131,30 @@ CliOptions parse(int argc, char** argv, int first) {
       options.positional.push_back(arg);
     }
   }
+  if (options.scale != "default" && options.scale != "large" &&
+      !core::parse_scale_tier(options.scale)) {
+    std::cerr << "unknown scale '" << options.scale
+              << "' (expected tiny|default|large|medium|huge)\n";
+    std::exit(kExitUsage);
+  }
   return options;
 }
 
 std::unique_ptr<core::Scenario> make_scenario(const CliOptions& options) {
   core::ScenarioConfig config;
-  if (options.scale == "tiny") config = core::tiny_config(options.seed);
-  else if (options.scale == "large") config = core::large_config(options.seed);
-  else config = core::default_config(options.seed);
+  if (options.scale == "tiny") {
+    config = core::tiny_config(options.seed);
+  } else if (options.scale == "large") {
+    config = core::large_config(options.seed);
+  } else if (const auto tier = core::parse_scale_tier(options.scale);
+             tier && *tier != core::ScaleTier::kTiny) {
+    // Pinned bench tiers (medium/huge): tier_config pins the seed, but the
+    // CLI is an exploration tool, so an explicit --seed still wins.
+    config = core::tier_config(*tier);
+    if (options.seed_explicit) config.seed = options.seed;
+  } else {
+    config = core::default_config(options.seed);
+  }
   return core::Scenario::generate(config);
 }
 
