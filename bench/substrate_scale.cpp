@@ -24,6 +24,7 @@
 //
 // Usage: substrate_scale [tiny|medium|huge] [out.json]
 //   Defaults: tiny, BENCH_<tier>.json in the current directory.
+#include <algorithm>
 #include <string>
 
 #include "bench_common.h"
@@ -141,9 +142,16 @@ int main(int argc, char** argv) {
   }
   const double replay_s = replay_timer.seconds();
   const double qps = replay_s > 0 ? total_queries / replay_s : 0;
+  // Per-query latency quantiles from the engine's log-bucketed histogram
+  // (accurate to one log-bucket). Resolution is 1 us, so sub-microsecond
+  // quantiles clamp to 1 — bench_diff.py requires positive perf values.
+  const auto& latency = engine.latency();
+  const double serve_p50_us = std::max(latency.quantile(0.50), 1.0);
+  const double serve_p99_us = std::max(latency.quantile(0.99), 1.0);
   std::cerr << "[bench] serve replay: " << total_queries << " queries in "
             << core::num(replay_s, 2) << " s (" << core::num(qps, 0)
-            << " qps)\n";
+            << " qps, p50 " << core::num(serve_p50_us, 1) << " us, p99 "
+            << core::num(serve_p99_us, 1) << " us)\n";
 
   // ---- 5. the ledger line. Structural fields (counts, per-entry bytes,
   // hashes) are deterministic for the pinned tier; *_s / qps / rss fields
@@ -175,6 +183,8 @@ int main(int argc, char** argv) {
       .num("generate_s", generate_s)
       .num("build_s", build_s)
       .num("serve_qps", qps)
+      .num("serve_p50_us", serve_p50_us)
+      .num("serve_p99_us", serve_p99_us)
       .num("peak_rss_bytes",
            static_cast<std::uint64_t>(bench::peak_rss_bytes()));
   record.write(out_path);

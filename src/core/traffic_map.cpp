@@ -1,10 +1,13 @@
 #include "core/traffic_map.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "net/executor.h"
 #include "net/ordered.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "scan/ecs_mapper.h"
 
@@ -106,13 +109,35 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
     if (options.on_stage) options.on_stage(stage);
   };
 
+  // Substrate arena gauges: how much memory the SoA columns, the interned
+  // strings and the origin radix tree hold going into the build. Wall-clock
+  // (capacity depends on allocator growth, not the seed).
+  {
+    const auto& topo0 = s.topo();
+    obs::gauge_set("arena.as_table_bytes",
+                   static_cast<std::int64_t>(topo0.table.memory_bytes()),
+                   obs::Determinism::kWallClock);
+    obs::gauge_set(
+        "arena.string_table_bytes",
+        static_cast<std::int64_t>(topo0.table.strings().memory_bytes()),
+        obs::Determinism::kWallClock);
+    obs::gauge_set("arena.origin_trie_nodes",
+                   static_cast<std::int64_t>(
+                       topo0.addresses.origin_trie().node_count()),
+                   obs::Determinism::kWallClock);
+    obs::gauge_set("arena.origin_trie_bytes",
+                   static_cast<std::int64_t>(
+                       topo0.addresses.origin_trie().memory_bytes()),
+                   obs::Determinism::kWallClock);
+  }
+
   // One pool for every sharded stage; threads=1 is the legacy serial path.
   net::Executor executor(options.threads);
 
   // ---- Drive a day of user behaviour, probing caches along the way.
   stage_begin("map.workload_probe");
   {
-    obs::Span span("map.workload_probe");
+    obs::StageScope span("map.workload_probe", 1, std::size(kMapStageNames));
     const DnsStatsDelta dns_delta(s.dns());
     Workload workload(s, options.workload, s.config().seed ^ 0x17f);
     prober_ = std::make_unique<scan::CacheProber>(
@@ -149,7 +174,7 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   // ---- Component 2: services.
   stage_begin("map.tls_scan");
   {
-    obs::Span span("map.tls_scan");
+    obs::StageScope span("map.tls_scan", 2, std::size(kMapStageNames));
     std::vector<std::string> operator_names;
     for (const auto& hg : s.deployment().hypergiants()) {
       operator_names.push_back(hg.name);
@@ -161,7 +186,7 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
 
   stage_begin("map.ecs_map");
   {
-    obs::Span span("map.ecs_map");
+    obs::StageScope span("map.ecs_map", 3, std::size(kMapStageNames));
     const auto routable = s.topo().addresses.routable_slash24s();
     const scan::EcsMapper ecs_mapper(s.dns().authoritative(),
                                      s.topo().geography.cities().front().id);
@@ -201,7 +226,7 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
   // ---- Component 3: routes.
   stage_begin("map.routing");
   {
-    obs::Span span("map.routing");
+    obs::StageScope span("map.routing", 4, std::size(kMapStageNames));
     const routing::Bgp bgp(topo.graph);
     std::vector<Asn> feeders = topo.tier1s;
     const auto n_transit_feeders = static_cast<std::size_t>(
@@ -228,7 +253,7 @@ TrafficMap MapBuilder::build(const MapBuildOptions& options) {
 
   stage_begin("map.inference");
   {
-    obs::Span span("map.inference");
+    obs::StageScope span("map.inference", 5, std::size(kMapStageNames));
     const inference::PeeringRecommender recommender(s.peeringdb(),
                                                     map.observed_graph);
     map.recommended_links = recommender.recommend(options.recommend_links);

@@ -1,10 +1,15 @@
 #include "net/executor.h"
 
 #include <atomic>
-#include <chrono>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/resource.h"
+#include "obs/trace.h"
 
 namespace itm::net {
 
@@ -23,35 +28,64 @@ constexpr std::uint64_t kShardMicrosBounds[] = {100, 1000, 10000, 100000,
 // work). Scheduling-dependent, so recorded in the wall-clock section.
 std::atomic<std::int64_t> g_active_shards{0};
 
-// Times one shard and feeds the executor's wall-clock metrics. The event
+// Times one shard and feeds the executor's wall-clock metrics (clock access
+// via obs::Stopwatch — the allowlisted home for wall time). The event
 // *counts* (batches, shards) are deterministic — shard geometry is a pure
 // function of n — and recorded by the caller; only durations and concurrency
 // live here.
 class ShardTimer {
  public:
-  ShardTimer()  // itm-lint: allow(banned-nondet-sources) -- wall-clock-only metric
-      : start_(std::chrono::steady_clock::now()),
+  explicit ShardTimer(std::uint64_t* micros_out)
+      : micros_out_(micros_out),
         active_(g_active_shards.fetch_add(1, std::memory_order_relaxed) + 1) {
     obs::gauge_max("executor.active_shards_hwm", active_,
                    obs::Determinism::kWallClock);
   }
   ~ShardTimer() {
     g_active_shards.fetch_sub(1, std::memory_order_relaxed);
-    const auto micros =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            // itm-lint: allow(banned-nondet-sources) -- wall-clock-only metric
-            std::chrono::steady_clock::now() - start_)
-            .count();
-    obs::observe("executor.shard_micros", kShardMicrosBounds,
-                 static_cast<std::uint64_t>(micros),
+    const std::uint64_t micros = watch_.elapsed_us();
+    if (micros_out_ != nullptr) *micros_out_ = micros;
+    obs::observe("executor.shard_micros", kShardMicrosBounds, micros,
                  obs::Determinism::kWallClock);
+    obs::progress().add_completed(1);
   }
+  ShardTimer(const ShardTimer&) = delete;
+  ShardTimer& operator=(const ShardTimer&) = delete;
 
  private:
-  // itm-lint: allow(banned-nondet-sources) -- wall-clock-only metric
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t* micros_out_;
+  obs::Stopwatch watch_;
   std::int64_t active_;
 };
+
+// Post-batch health rollup, attributed to the pipeline stage in flight (or
+// "executor" outside any StageScope). Imbalance is max/mean shard wall time:
+// 1.0 = perfectly balanced, large = one straggler shard dominated the batch.
+// All wall-clock: shard durations are scheduling artifacts.
+void publish_batch_health(const std::vector<std::uint64_t>& shard_micros) {
+  if (shard_micros.empty()) return;
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : shard_micros) {
+    max = v > max ? v : max;
+    sum += v;
+  }
+  auto& shard_us = obs::metrics().quantile("executor.shard_us");
+  for (const std::uint64_t v : shard_micros) shard_us.observe(v);
+  const char* stage = obs::current_stage();
+  const std::string prefix = stage[0] != '\0' ? stage : "executor";
+  obs::count(prefix + ".exec_batches", 1, obs::Determinism::kWallClock);
+  obs::count(prefix + ".exec_shards", shard_micros.size(),
+             obs::Determinism::kWallClock);
+  if (sum > 0) {
+    const double mean = static_cast<double>(sum) /
+                        static_cast<double>(shard_micros.size());
+    obs::gauge_max(
+        prefix + ".imbalance_x1000",
+        static_cast<std::int64_t>(static_cast<double>(max) * 1000.0 / mean),
+        obs::Determinism::kWallClock);
+  }
+}
 
 }  // namespace
 
@@ -63,6 +97,9 @@ struct Executor::Batch {
   std::atomic<std::size_t> completed{0};
   // One slot per shard; each written by exactly one thread.
   std::vector<std::exception_ptr> errors;
+  // Per-shard wall micros (same one-writer-per-slot discipline); feeds the
+  // post-batch imbalance rollup.
+  std::vector<std::uint64_t> shard_micros;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 };
@@ -112,7 +149,8 @@ void Executor::run_shards(Batch& batch) {
     shard.end = shard.begin + base + (index < rem ? 1 : 0);
     tl_in_shard = true;
     try {
-      const ShardTimer timer;
+      const ShardTimer timer(&batch.shard_micros[index]);
+      obs::Span span("executor.shard");
       (*batch.fn)(shard);
     } catch (...) {
       batch.errors[index] = std::current_exception();
@@ -158,10 +196,18 @@ void Executor::parallel_for(std::size_t n,
   obs::count("executor.items", n);
   obs::gauge_set("executor.threads", static_cast<std::int64_t>(threads_),
                  obs::Determinism::kWallClock);
+  obs::progress().add_expected(shard_count);
+  if (obs::recorder().enabled()) {
+    char fields[96];
+    std::snprintf(fields, sizeof fields, "\"items\": %zu, \"shards\": %zu", n,
+                  shard_count);
+    obs::recorder().event("executor.batch", fields);
+  }
   if (threads_ == 1 || shard_count == 1) {
     // Inline serial path: identical shard geometry, no pool involvement.
     const std::size_t base = n / shard_count;
     const std::size_t rem = n % shard_count;
+    std::vector<std::uint64_t> shard_micros(shard_count, 0);
     for (std::size_t index = 0; index < shard_count; ++index) {
       Shard shard;
       shard.index = index;
@@ -170,7 +216,8 @@ void Executor::parallel_for(std::size_t n,
       shard.end = shard.begin + base + (index < rem ? 1 : 0);
       tl_in_shard = true;
       try {
-        const ShardTimer timer;
+        const ShardTimer timer(&shard_micros[index]);
+        obs::Span span("executor.shard");
         fn(shard);
       } catch (...) {
         tl_in_shard = false;
@@ -178,6 +225,7 @@ void Executor::parallel_for(std::size_t n,
       }
       tl_in_shard = false;
     }
+    publish_batch_health(shard_micros);
     return;
   }
 
@@ -186,6 +234,7 @@ void Executor::parallel_for(std::size_t n,
   batch->shard_count = shard_count;
   batch->fn = &fn;
   batch->errors.resize(shard_count);
+  batch->shard_micros.resize(shard_count, 0);
   {
     const std::lock_guard lock(mutex_);
     batch_ = batch;
@@ -204,6 +253,7 @@ void Executor::parallel_for(std::size_t n,
     const std::lock_guard lock(mutex_);
     batch_.reset();
   }
+  publish_batch_health(batch->shard_micros);
   for (const auto& error : batch->errors) {
     if (error) std::rethrow_exception(error);
   }

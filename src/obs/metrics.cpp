@@ -1,14 +1,22 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <stdexcept>
 
 namespace itm::obs {
 
 Histogram::Histogram(std::span<const std::uint64_t> bounds)
     : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1) {
-  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
-    throw std::logic_error("Histogram: bucket bounds must be ascending");
+  if (bounds_.empty()) {
+    throw std::logic_error("Histogram: bucket bounds must be non-empty");
+  }
+  if (std::adjacent_find(bounds_.begin(), bounds_.end(),
+                         std::greater_equal<std::uint64_t>()) !=
+      bounds_.end()) {
+    throw std::logic_error(
+        "Histogram: bucket bounds must be strictly ascending");
   }
 }
 
@@ -49,6 +57,9 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     case Kind::kHistogram:
       entry.histogram = std::make_unique<Histogram>(bounds);
       break;
+    case Kind::kQuantile:
+      entry.quantile = std::make_unique<QuantileHistogram>();
+      break;
   }
   return entries_.emplace(std::string(name), std::move(entry)).first->second;
 }
@@ -65,6 +76,16 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const std::uint64_t> bounds,
                                       Determinism det) {
   return *find_or_create(name, Kind::kHistogram, det, bounds).histogram;
+}
+
+QuantileHistogram& MetricsRegistry::quantile(std::string_view name,
+                                             Determinism det) {
+  if (det == Determinism::kDeterministic) {
+    throw std::logic_error("MetricsRegistry: quantile '" + std::string(name) +
+                           "' must be wall-clock: order statistics of "
+                           "wall-clock samples are never deterministic");
+  }
+  return *find_or_create(name, Kind::kQuantile, det, {}).quantile;
 }
 
 void MetricsRegistry::clear() {
@@ -129,12 +150,21 @@ void MetricsRegistry::write_json(std::ostream& os, Export what) const {
   const std::lock_guard lock(mutex_);
   const auto write_section = [&](Determinism det, const char* title,
                                  const char* indent) {
+    // The deterministic section's bytes are pinned by golden tests and the
+    // cross-thread-count diff gate; "quantiles" only ever appears in the
+    // wall-clock section (quantile registration enforces kWallClock).
+    const std::vector<Kind> kinds =
+        det == Determinism::kWallClock
+            ? std::vector<Kind>{Kind::kCounter, Kind::kGauge, Kind::kHistogram,
+                                Kind::kQuantile}
+            : std::vector<Kind>{Kind::kCounter, Kind::kGauge,
+                                Kind::kHistogram};
     os << indent << "\"" << title << "\": {\n";
-    for (const Kind kind :
-         {Kind::kCounter, Kind::kGauge, Kind::kHistogram}) {
-      const char* kind_name = kind == Kind::kCounter   ? "counters"
-                              : kind == Kind::kGauge   ? "gauges"
-                                                       : "histograms";
+    for (const Kind kind : kinds) {
+      const char* kind_name = kind == Kind::kCounter     ? "counters"
+                              : kind == Kind::kGauge     ? "gauges"
+                              : kind == Kind::kHistogram ? "histograms"
+                                                         : "quantiles";
       os << indent << "  \"" << kind_name << "\": {";
       bool first = true;
       for (const auto& [name, entry] : entries_) {
@@ -162,10 +192,25 @@ void MetricsRegistry::write_json(std::ostream& os, Export what) const {
                << "}";
             break;
           }
+          case Kind::kQuantile: {
+            const QuantileHistogram& qh = *entry.quantile;
+            const auto fmt = [](double v) {
+              char buf[32];
+              std::snprintf(buf, sizeof buf, "%.1f", v);
+              return std::string(buf);
+            };
+            os << "{\"count\": " << qh.count() << ", \"sum\": " << qh.sum()
+               << ", \"max\": " << qh.max() << ", \"mean\": "
+               << fmt(qh.mean()) << ", \"p50\": " << fmt(qh.quantile(0.50))
+               << ", \"p90\": " << fmt(qh.quantile(0.90))
+               << ", \"p99\": " << fmt(qh.quantile(0.99))
+               << ", \"p999\": " << fmt(qh.quantile(0.999)) << "}";
+            break;
+          }
         }
       }
       os << (first ? "" : "\n" + std::string(indent) + "  ") << "}";
-      os << (kind == Kind::kHistogram ? "\n" : ",\n");
+      os << (kind == kinds.back() ? "\n" : ",\n");
     }
     os << indent << "}";
   };
@@ -197,6 +242,12 @@ void MetricsRegistry::write_text(std::ostream& os) const {
           os << counts[i];
         }
         os << "]";
+        break;
+      }
+      case Kind::kQuantile: {
+        const QuantileHistogram& qh = *entry.quantile;
+        os << "count " << qh.count() << ", p50 " << qh.quantile(0.50)
+           << ", p99 " << qh.quantile(0.99) << ", max " << qh.max();
         break;
       }
     }

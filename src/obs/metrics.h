@@ -35,6 +35,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/quantile.h"
+
 namespace itm::obs {
 
 enum class Determinism {
@@ -79,9 +81,11 @@ class Gauge {
 };
 
 // Fixed-bucket histogram over non-negative integer samples. Bucket `i` counts
-// samples <= bounds[i] (cumulative-style upper bounds, ascending); one
-// implicit overflow bucket catches the rest. Bucket increments and the
-// integer sum commute, so merged values are thread-count independent.
+// samples <= bounds[i] (cumulative-style upper bounds, strictly ascending and
+// non-empty — anything else throws std::logic_error, since unsorted or
+// duplicate bounds would silently miscount); one implicit overflow bucket
+// catches the rest. Bucket increments and the integer sum commute, so merged
+// values are thread-count independent.
 class Histogram {
  public:
   explicit Histogram(std::span<const std::uint64_t> bounds);
@@ -124,6 +128,13 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name,
                        std::span<const std::uint64_t> bounds,
                        Determinism det = Determinism::kDeterministic);
+  // Quantile histograms estimate order statistics from wall-clock samples
+  // (latencies), so they are wall-clock by definition: registering one as
+  // kDeterministic throws std::logic_error. They export under a "quantiles"
+  // subsection of the wall_clock JSON section only — the deterministic
+  // artifact's bytes are untouched (DESIGN.md decision #11).
+  QuantileHistogram& quantile(std::string_view name,
+                              Determinism det = Determinism::kWallClock);
 
   // Drops every metric (handles become dangling; re-register after).
   void clear();
@@ -153,7 +164,7 @@ class MetricsRegistry {
   void write_text(std::ostream& os) const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kQuantile };
 
   struct Entry {
     Kind kind;
@@ -161,6 +172,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<QuantileHistogram> quantile;
   };
 
   Entry& find_or_create(std::string_view name, Kind kind, Determinism det,
@@ -208,6 +220,12 @@ inline void observe(std::string_view name,
                     std::uint64_t sample,
                     Determinism det = Determinism::kDeterministic) {
   metrics().histogram(name, bounds, det).observe(sample);
+}
+// Hot paths should resolve the QuantileHistogram handle once (registry
+// lookup takes the lock) and call observe() on it directly; this wrapper is
+// for per-stage call sites.
+inline void observe_quantile(std::string_view name, std::uint64_t sample) {
+  metrics().quantile(name).observe(sample);
 }
 
 }  // namespace itm::obs

@@ -1,0 +1,90 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace itm::obs {
+
+namespace {
+
+// Octave k (k >= 4) spans [2^k, 2^(k+1)) split into 16 sub-buckets; octaves
+// 0..3 collapse into the 16 linear buckets. Highest sample bit is 63, so the
+// last octave is k = 63.
+constexpr std::size_t kOctaves = 60;  // k in [4, 63]
+
+}  // namespace
+
+QuantileHistogram::QuantileHistogram() : buckets_(bucket_count()) {}
+
+std::size_t QuantileHistogram::bucket_count() {
+  return kLinearLimit + kOctaves * kSubBuckets;
+}
+
+std::size_t QuantileHistogram::bucket_index(std::uint64_t sample) {
+  if (sample < kLinearLimit) return static_cast<std::size_t>(sample);
+  const int top = 63 - std::countl_zero(sample);  // top >= 4
+  const auto sub =
+      static_cast<std::size_t>((sample >> (top - 4)) & (kSubBuckets - 1));
+  return kLinearLimit + static_cast<std::size_t>(top - 4) * kSubBuckets + sub;
+}
+
+std::uint64_t QuantileHistogram::bucket_lower(std::size_t index) {
+  if (index < kLinearLimit) return index;
+  const std::size_t octave = (index - kLinearLimit) / kSubBuckets;  // top - 4
+  const std::size_t sub = (index - kLinearLimit) % kSubBuckets;
+  return (kSubBuckets + sub) << octave;
+}
+
+std::uint64_t QuantileHistogram::bucket_upper(std::size_t index) {
+  if (index < kLinearLimit) return index;
+  return bucket_lower(index + 1) - 1;
+}
+
+void QuantileHistogram::observe(std::uint64_t sample) {
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < sample &&
+         !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+}
+
+double QuantileHistogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto snapshot = counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snapshot) total += c;
+  if (total == 0) return 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * total), with rank at least 1.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    cumulative += snapshot[i];
+    if (cumulative >= rank) {
+      return (static_cast<double>(bucket_lower(i)) +
+              static_cast<double>(bucket_upper(i))) /
+             2.0;
+    }
+  }
+  return static_cast<double>(max());
+}
+
+double QuantileHistogram::mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> QuantileHistogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace itm::obs

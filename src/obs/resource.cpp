@@ -1,0 +1,42 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/quantile.h"
+
+namespace itm::obs {
+
+ScopedLatencyUs::~ScopedLatencyUs() { sink_.observe(watch_.elapsed_us()); }
+
+std::uint64_t current_rss_bytes() {
+  // statm field 2 is resident pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+std::uint64_t unix_millis() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace itm::obs

@@ -1,0 +1,67 @@
+// Wall-clock and resource sampling primitives for the run-analysis layer.
+//
+// All clock access for instrumentation lives here, inside src/obs/ — the one
+// subtree itm-lint's banned-nondet-sources rule allowlists — so call sites in
+// src/net/, src/serve/ and bench/ can time shards and queries without their
+// own suppression comments. The readings are wall-clock by definition and
+// must only ever feed kWallClock metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace itm::obs {
+
+// Monotonic elapsed-time meter. start() is the construction time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  [[nodiscard]] std::uint64_t elapsed_us() const {
+    return elapsed_ns() / 1000;
+  }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Scoped latency sampler: observes the scope's lifetime in microseconds into
+// a QuantileHistogram on destruction. The handle is taken by reference, so
+// resolve it from the registry once, outside the hot loop.
+class QuantileHistogram;
+
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(QuantileHistogram& sink) : sink_(sink) {}
+  ~ScopedLatencyUs();
+  ScopedLatencyUs(const ScopedLatencyUs&) = delete;
+  ScopedLatencyUs& operator=(const ScopedLatencyUs&) = delete;
+
+ private:
+  QuantileHistogram& sink_;
+  Stopwatch watch_;
+};
+
+// Current resident set size in bytes, from /proc/self/statm (Linux); 0 when
+// unreadable. Cheap enough to sample per stage, not per item.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+// Peak resident set size in bytes, from getrusage(RUSAGE_SELF).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+// Milliseconds since the Unix epoch (system clock): only for journal
+// timestamps, never for metrics that get diffed.
+[[nodiscard]] std::uint64_t unix_millis();
+
+}  // namespace itm::obs

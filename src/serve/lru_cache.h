@@ -46,6 +46,7 @@ class LruCache {
     if (entries_.size() >= capacity_) {
       index_.erase(entries_.back().first);
       entries_.pop_back();
+      ++evictions_;
     }
     entries_.emplace_front(key, std::move(value));
     index_.emplace(key, entries_.begin());
@@ -55,6 +56,7 @@ class LruCache {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
  private:
   std::size_t capacity_;
@@ -65,6 +67,7 @@ class LruCache {
       index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace itm::serve

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/resource.h"
 #include "serve/format.h"
 #include "topology/as_graph.h"
 
@@ -49,7 +51,9 @@ const char* as_type_name(std::uint32_t type) {
 
 QueryEngine::QueryEngine(const Snapshot& snapshot,
                          std::size_t cache_capacity)
-    : snap_(&snapshot), cache_(cache_capacity) {
+    : snap_(&snapshot),
+      cache_(cache_capacity),
+      latency_(&obs::metrics().quantile("serve.query_latency_us")) {
   // Activity total in record (ASN-ascending) order — the same accumulation
   // order as TrafficMap::total_activity over its key-sorted estimate, so
   // the float result is bit-equal.
@@ -272,6 +276,10 @@ std::string QueryEngine::format_point(const PointAnswer& answer) const {
 }
 
 std::string QueryEngine::execute(const std::string& line) {
+  // Tail-latency record for the serving path (cache hits included — a hit
+  // is an answer too). The handle was resolved once at construction; one
+  // observe() is two relaxed atomics, cheap against a protocol parse.
+  const obs::ScopedLatencyUs timer(*latency_);
   ++executed_;
   if (const auto cached = cache_.get(line)) return *cached;
   std::string result = execute_uncached(line);

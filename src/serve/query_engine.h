@@ -32,6 +32,7 @@
 
 #include "core/traffic_map.h"
 #include "net/ipv4.h"
+#include "obs/quantile.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
 
@@ -102,7 +103,16 @@ class QueryEngine {
 
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_.hits(); }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_.misses(); }
+  [[nodiscard]] std::uint64_t cache_evictions() const {
+    return cache_.evictions();
+  }
   [[nodiscard]] std::uint64_t queries_executed() const { return executed_; }
+
+  // The wall-clock latency record execute() feeds ("serve.query_latency_us"
+  // in the registry current at construction).
+  [[nodiscard]] const obs::QuantileHistogram& latency() const {
+    return *latency_;
+  }
 
  private:
   [[nodiscard]] std::string execute_uncached(const std::string& line) const;
@@ -120,6 +130,7 @@ class QueryEngine {
   std::vector<std::vector<std::uint32_t>> operator_endpoints_by_as_;
   std::vector<std::size_t> client_prefixes_by_as_;
   LruCache<std::string> cache_;
+  obs::QuantileHistogram* latency_;
   std::uint64_t executed_ = 0;
 };
 

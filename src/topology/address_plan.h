@@ -84,6 +84,10 @@ class AddressPlan {
     return per_as_;
   }
 
+  // The origin-lookup radix tree, exposed for arena/allocation gauges (node
+  // count, bytes) in the run-analysis layer.
+  [[nodiscard]] const PrefixTrie<Asn>& origin_trie() const { return origins_; }
+
  private:
   std::vector<AsAddressing> per_as_;
   PrefixTrie<Asn> origins_;

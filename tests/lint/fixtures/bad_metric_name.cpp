@@ -1,0 +1,14 @@
+// Fixture: metric and span names outside the [a-z0-9_.]+ namespace —
+// uppercase, spaces, dashes — at every checked obs call-site shape.
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+void publish(itm::obs::MetricsRegistry& registry) {
+  itm::obs::count("Map.WorkloadEvents", 1);
+  itm::obs::gauge_set("map client prefixes", 2);
+  registry.counter("serve-cache-hits").add(1);
+  registry.quantile("Serve.LatencyUs").observe(3);
+  itm::obs::Span span("Routing Stage");
+  itm::obs::StageScope stage("map.Inference", 5, 5);
+}

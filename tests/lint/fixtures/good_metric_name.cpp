@@ -1,0 +1,23 @@
+// Fixture: well-formed metric/span names, plus the shapes the rule must
+// NOT match — unqualified count()/observe() (std methods), non-literal
+// first arguments, and numeric quantile() calls.
+#include <set>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+std::size_t lookups(const std::set<int>& index, double q) {
+  itm::obs::count("map.workload_events", 1);
+  itm::obs::gauge_set("map.client_prefixes", 2);
+  itm::obs::observe_quantile("executor.shard_us", 3);
+  itm::obs::metrics().counter("serve.cache.hits").add(1);
+  itm::obs::metrics().quantile("serve.query_latency_us").observe(4);
+  itm::obs::Span span("map.tls_scan");
+  itm::obs::StageScope stage("map.inference", 5, 5);
+  const std::string dynamic = "run.time_Q";  // not a call-site literal
+  itm::obs::count(dynamic, 1);
+  (void)itm::obs::metrics().quantile("serve.query_latency_us").quantile(q);
+  return index.count(42);  // std::set::count is not an obs site
+}

@@ -58,7 +58,8 @@ INSTANTIATE_TEST_SUITE_P(Rules, GoldenFixture,
                          ::testing::Values("nondet_iteration", "banned_sources",
                                            "rng_discipline", "executor_capture",
                                            "float_reduction",
-                                           "stale_suppression"));
+                                           "stale_suppression",
+                                           "metric_name"));
 
 class CleanFixture : public ::testing::TestWithParam<const char*> {};
 
@@ -73,7 +74,8 @@ TEST_P(CleanFixture, LintsClean) {
 INSTANTIATE_TEST_SUITE_P(Rules, CleanFixture,
                          ::testing::Values("nondet_iteration", "banned_sources",
                                            "rng_discipline", "executor_capture",
-                                           "float_reduction", "suppression"));
+                                           "float_reduction", "suppression",
+                                           "metric_name"));
 
 TEST(Suppression, LiveAllowIsCountedAgainstTheBudget) {
   const auto result = lint_fixture("good_suppression.cpp");

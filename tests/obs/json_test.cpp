@@ -1,0 +1,68 @@
+// The strict JSON reader behind `itm obs`: it must accept everything the
+// repo's writers emit (nested objects, arrays, escapes, signed/exponent
+// numbers) and reject anything malformed rather than guessing.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace itm::obs {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(parse_json("42")->number(), 42.0);
+  EXPECT_EQ(parse_json("-3.5")->number(), -3.5);
+  EXPECT_EQ(parse_json("1e3")->number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"")->string(), "hi");
+  EXPECT_TRUE(parse_json("true")->boolean());
+  EXPECT_FALSE(parse_json("false")->boolean());
+  EXPECT_EQ(parse_json("null")->type(), JsonValue::Type::kNull);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const auto doc = parse_json(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string(), "a\"b\\c\n\tA");
+}
+
+TEST(Json, ParsesNestedObjectsAndArrays) {
+  const auto doc = parse_json(
+      R"({"metrics": {"deterministic": {"counters": {"a": 1, "b": 2}},)"
+      R"( "list": [1, 2, 3]}})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters =
+      doc->find_path("metrics.deterministic.counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_at("a"), 1.0);
+  EXPECT_EQ(counters->number_at("b"), 2.0);
+  EXPECT_EQ(counters->number_at("absent"), std::nullopt);
+  const JsonValue* list = doc->find_path("metrics.list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->array().size(), 3u);
+  EXPECT_EQ(list->array()[2].number(), 3.0);
+}
+
+TEST(Json, FindIsNullForMissingOrNonObject) {
+  const auto doc = parse_json("{\"a\": [1]}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("b"), nullptr);
+  EXPECT_EQ(doc->find("a")->find("x"), nullptr);  // array, not object
+  EXPECT_EQ(doc->find_path("a.b.c"), nullptr);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1, 2", "{\"a\": }", "{\"a\" 1}", "{'a': 1}",
+        "{\"a\": 1} trailing", "[1 2]", "\"unterminated", "nul",
+        "{\"a\": 1,}"}) {
+    error.clear();
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace itm::obs

@@ -168,6 +168,68 @@ TEST(Export, TextMarksWallClockMetrics) {
   EXPECT_NE(os.str().find("wall [wall] = 2"), std::string::npos);
 }
 
+// Histogram bounds validation: every malformed spec is a programming error
+// caught at registration, not a silently mis-bucketed metric.
+TEST(Histogram, RejectsEmptyBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {}), std::logic_error);
+}
+
+TEST(Histogram, RejectsDuplicateBounds) {
+  MetricsRegistry reg;
+  const std::uint64_t bounds[] = {5, 5};
+  EXPECT_THROW(reg.histogram("bad", bounds), std::logic_error);
+}
+
+TEST(Histogram, RejectsDescendingBounds) {
+  MetricsRegistry reg;
+  const std::uint64_t bounds[] = {100, 10};
+  EXPECT_THROW(reg.histogram("bad", bounds), std::logic_error);
+}
+
+TEST(Quantile, DeterministicRegistrationThrows) {
+  // Quantile histograms summarize wall-clock samples; letting one into the
+  // deterministic half would break the cross-thread-count byte diff.
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.quantile("latency", Determinism::kDeterministic),
+               std::logic_error);
+}
+
+TEST(Quantile, ExportsOnlyUnderWallClockSection) {
+  MetricsRegistry reg;
+  reg.counter("events").add(1);
+  QuantileHistogram& q = reg.quantile("serve.query_latency_us");
+  q.observe(10);
+  q.observe(1000);
+
+  std::ostringstream det;
+  reg.write_json(det, MetricsRegistry::Export::kDeterministicOnly);
+  EXPECT_EQ(det.str().find("quantiles"), std::string::npos);
+  EXPECT_EQ(det.str().find("serve.query_latency_us"), std::string::npos);
+
+  std::ostringstream all;
+  reg.write_json(all, MetricsRegistry::Export::kAll);
+  const std::string json = all.str();
+  const std::size_t wall = json.find("\"wall_clock\"");
+  ASSERT_NE(wall, std::string::npos);
+  const std::size_t quantiles = json.find("\"quantiles\"");
+  ASSERT_NE(quantiles, std::string::npos);
+  EXPECT_GT(quantiles, wall);  // nested inside the wall_clock section
+  for (const char* key : {"\"p50\"", "\"p90\"", "\"p99\"", "\"p999\"",
+                          "\"count\": 2", "\"sum\": 1010", "\"max\": 1000"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(Quantile, RegistryHandleAccumulates) {
+  MetricsRegistry reg;
+  reg.quantile("q").observe(4);
+  reg.quantile("q").observe(6);
+  EXPECT_EQ(reg.quantile("q").count(), 2u);
+  EXPECT_EQ(reg.quantile("q").sum(), 10u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
 TEST(ScopedMetrics, InstallsAndRestoresCurrentRegistry) {
   MetricsRegistry& global = metrics();
   MetricsRegistry local;

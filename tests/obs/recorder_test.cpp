@@ -1,0 +1,211 @@
+// Flight recorder and stage scopes: the journal is valid bounded JSONL, an
+// over-long payload degrades instead of corrupting its line, the crash-flush
+// path survives a real SIGTERM (subprocess fixture — the handler re-raises,
+// so the child must actually die by signal), and StageScope maintains the
+// signal handler's current-stage tag.
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace itm::obs {
+namespace {
+
+std::string temp_journal_path(const char* tag) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir != nullptr ? dir : "/tmp";
+  path += "/itm_recorder_";
+  path += tag;
+  path += "_";
+  path += std::to_string(::getpid());
+  path += ".jsonl";
+  return path;
+}
+
+std::vector<std::string> journal_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "journal missing: " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(FlightRecorder, JournalIsValidJsonlAndBoundedByRingSize) {
+  const std::string path = temp_journal_path("bounded");
+  {
+    FlightRecorder rec;
+    rec.enable(path);
+    for (int i = 0; i < 1000; ++i) {
+      rec.event("unit.tick", "\"i\": " + std::to_string(i));
+    }
+    EXPECT_EQ(rec.events_recorded(), 1000u);
+    rec.flush();
+  }
+  const auto lines = journal_lines(path);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_LE(lines.size(), FlightRecorder::kSlots);
+  std::uint64_t prev_seq = 0;
+  for (const auto& line : lines) {
+    std::string error;
+    const auto doc = parse_json(line, &error);
+    ASSERT_TRUE(doc.has_value()) << error << " in: " << line;
+    EXPECT_TRUE(doc->number_at("ts_ms").has_value());
+    ASSERT_TRUE(doc->number_at("seq").has_value());
+    const JsonValue* event = doc->find("event");
+    ASSERT_NE(event, nullptr);
+    EXPECT_EQ(event->string(), "unit.tick");
+    // The ring keeps the *last* kSlots events, oldest first.
+    const auto seq = static_cast<std::uint64_t>(*doc->number_at("seq"));
+    EXPECT_GT(seq, prev_seq);
+    prev_seq = seq;
+  }
+  // The final event (seq is 0-based) must have survived the wraparound.
+  EXPECT_EQ(prev_seq, 999u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, OverlongPayloadDegradesToFixedKeys) {
+  const std::string path = temp_journal_path("overlong");
+  {
+    FlightRecorder rec;
+    rec.enable(path);
+    const std::string huge =
+        "\"blob\": \"" + std::string(2 * FlightRecorder::kSlotBytes, 'x') +
+        "\"";
+    rec.event("unit.big", huge);
+    rec.flush();
+  }
+  const auto lines = journal_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_LE(lines[0].size(), FlightRecorder::kSlotBytes);
+  std::string error;
+  const auto doc = parse_json(lines[0], &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_NE(doc->find("event"), nullptr);
+  EXPECT_EQ(doc->find("event")->string(), "unit.big");
+  EXPECT_EQ(doc->find("blob"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, EventsBeforeEnableAndAfterFlushAreDropped) {
+  const std::string path = temp_journal_path("lifecycle");
+  FlightRecorder rec;
+  rec.event("unit.early");  // no-op: not enabled yet
+  EXPECT_FALSE(rec.enabled());
+  rec.enable(path);
+  EXPECT_TRUE(rec.enabled());
+  rec.event("unit.kept");
+  rec.flush();
+  rec.event("unit.late");  // dropped: already flushed
+  rec.flush();             // idempotent
+  const auto lines = journal_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("unit.kept"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, EnableRejectsUnwritablePath) {
+  FlightRecorder rec;
+  EXPECT_THROW(rec.enable("/nonexistent-dir/journal.jsonl"),
+               std::runtime_error);
+}
+
+// The acceptance scenario: a build killed mid-stage leaves a readable
+// journal whose final event names the in-flight stage. The child process
+// uses the real process singletons (recorder(), signal handlers) so the
+// parent's state is untouched; the crash handler re-raises with default
+// disposition, so the child's exit status must still be SIGTERM.
+TEST(FlightRecorder, SigtermLeavesPostmortemJournalNamingInflightStage) {
+  const std::string path = temp_journal_path("sigterm");
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child — no gtest assertions from here on.
+    recorder().enable(path);
+    install_crash_flush();
+    recorder().event("run.begin");
+    StageScope stage("map.routing", 4, 5);
+    ::raise(SIGTERM);
+    ::_exit(97);  // unreachable: the handler re-raises SIGTERM
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited normally: " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  const auto lines = journal_lines(path);
+  ASSERT_GE(lines.size(), 2u);  // run.begin, stage.begin, signal
+  std::string error;
+  const auto last = parse_json(lines.back(), &error);
+  ASSERT_TRUE(last.has_value()) << error << " in: " << lines.back();
+  ASSERT_NE(last->find("event"), nullptr);
+  EXPECT_EQ(last->find("event")->string(), "signal");
+  EXPECT_EQ(last->number_at("signo").value_or(0), SIGTERM);
+  ASSERT_NE(last->find("stage"), nullptr);
+  EXPECT_EQ(last->find("stage")->string(), "map.routing");
+  // Every earlier line is intact JSONL too.
+  for (const auto& line : lines) {
+    EXPECT_TRUE(parse_json(line).has_value()) << line;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StageScope, MaintainsCurrentStageTag) {
+  MetricsRegistry local;
+  ScopedMetrics isolate(local);  // keep stage gauges out of the global registry
+  EXPECT_STREQ(current_stage(), "");
+  {
+    StageScope outer("map.generate", 1, 5);
+    EXPECT_STREQ(current_stage(), "map.generate");
+    {
+      StageScope inner("map.attribution", 2, 5);
+      EXPECT_STREQ(current_stage(), "map.attribution");
+    }
+    // Restoring the outer name is not required — only that the tag is
+    // cleared once no stage is live — but the publishing side effects are.
+  }
+  EXPECT_STREQ(current_stage(), "");
+}
+
+TEST(StageScope, PublishesWallClockStageGauges) {
+  MetricsRegistry local;
+  ScopedMetrics isolate(local);
+  {
+    StageScope stage("unit.stage", 1, 1);
+    const double seconds = stage.close();
+    EXPECT_GE(seconds, 0.0);
+  }
+  std::ostringstream out;
+  local.write_json(out, MetricsRegistry::Export::kAll);
+  const auto doc = parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* wall = doc->find_path("metrics.wall_clock.gauges");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->number_at("unit.stage.wall_us").has_value());
+  EXPECT_TRUE(wall->number_at("unit.stage.rss_bytes").has_value());
+  EXPECT_TRUE(wall->number_at("unit.stage.rss_delta_bytes").has_value());
+  // Nothing leaked into the deterministic half.
+  const JsonValue* det = doc->find_path("metrics.deterministic.gauges");
+  if (det != nullptr) {
+    EXPECT_FALSE(det->number_at("unit.stage.wall_us").has_value());
+  }
+}
+
+}  // namespace
+}  // namespace itm::obs

@@ -7,9 +7,13 @@
 
 #include <chrono>
 #include <cstddef>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
+
+#include "net/executor.h"
+#include "obs/metrics.h"
 
 namespace itm::obs {
 namespace {
@@ -199,6 +203,51 @@ TEST(Tracer, EmptyTraceIsStillValidJson) {
   std::ostringstream os;
   tracer.write_chrome_trace(os);
   EXPECT_TRUE(json_parses(os.str())) << os.str();
+}
+
+// Executor workers open an "executor.shard" span per shard. Every one of
+// them — across all worker tids — must lie inside the enclosing stage
+// span's interval: parallel_for blocks until the batch drains, so a shard
+// escaping the window would mean the trace misattributes work.
+TEST(Tracer, ExecutorShardSpansAreContainedInEnclosingStage) {
+  MetricsRegistry scratch;
+  ScopedMetrics isolate(scratch);  // keep batch-health rollups out of global
+  Tracer tracer;
+  {
+    ScopedTracer scope(tracer);
+    Span stage("map.batch");
+    net::Executor executor(4);
+    executor.parallel_for(64, [](const net::Executor::Shard& shard) {
+      spin_for_at_least(std::chrono::microseconds(50));
+      (void)shard;
+    });
+  }
+  const auto events = tracer.events();
+  const TraceEvent* stage_event = nullptr;
+  for (const auto& ev : events) {
+    if (ev.name == "map.batch") stage_event = &ev;
+  }
+  ASSERT_NE(stage_event, nullptr);
+  std::size_t shards = 0;
+  std::size_t distinct_tids = 0;
+  std::map<std::uint64_t, std::size_t> by_tid;
+  for (const auto& ev : events) {
+    if (ev.name != "executor.shard") continue;
+    ++shards;
+    ++by_tid[ev.tid];
+    EXPECT_GE(ev.start_ns, stage_event->start_ns);
+    EXPECT_LE(ev.start_ns + ev.duration_ns,
+              stage_event->start_ns + stage_event->duration_ns);
+  }
+  distinct_tids = by_tid.size();
+  EXPECT_EQ(shards, net::Executor::shard_count_for(64));
+  EXPECT_GE(distinct_tids, 1u);
+  // Shards on the stage's own thread nest one level below it.
+  for (const auto& ev : events) {
+    if (ev.name == "executor.shard" && ev.tid == stage_event->tid) {
+      EXPECT_EQ(ev.depth, stage_event->depth + 1);
+    }
+  }
 }
 
 TEST(ScopedTracer, SpanUsesTracerCurrentAtConstruction) {

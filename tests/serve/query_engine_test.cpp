@@ -202,6 +202,19 @@ TEST_F(QueryEngineTest, BatchProtocolIsDeterministicAndCached) {
   EXPECT_EQ(engine.execute("as 99999999").rfind("error:", 0), 0u);
 }
 
+TEST_F(QueryEngineTest, CacheEvictionsAreCounted) {
+  // Capacity 2 with three distinct cacheable queries: the third insert must
+  // evict exactly one entry, and the counter feeds `itm serve`'s
+  // serve.cache.evictions metric.
+  QueryEngine engine(*snapshot_, 2);
+  engine.execute("stats");
+  engine.execute("top-as 5");
+  EXPECT_EQ(engine.cache_evictions(), 0u);
+  engine.execute("top-as 7");
+  EXPECT_EQ(engine.cache_evictions(), 1u);
+  EXPECT_EQ(engine.cache_hits(), 0u);
+}
+
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   LruCache<int> cache(2);
   cache.put("a", 1);

@@ -30,7 +30,8 @@ LAYOUT = [
     "bytes_per_as_soa", "bytes_per_as_legacy",
     "bytes_per_prefix_soa", "bytes_per_prefix_legacy",
 ]
-PERF = ["generate_s", "build_s", "serve_qps", "peak_rss_bytes"]
+PERF = ["generate_s", "build_s", "serve_qps", "serve_p50_us", "serve_p99_us",
+        "peak_rss_bytes"]
 
 LAYOUT_TOLERANCE = 1.5
 

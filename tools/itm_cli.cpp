@@ -3,14 +3,20 @@
 //   itm generate [--seed N] [--scale tiny|default|large|medium|huge]
 //       Generate a synthetic Internet and print its inventory.
 //   itm map [--seed N] [--scale S] [--threads N] [--json FILE] [--csv PREFIX]
-//           [--metrics-out FILE] [--trace-out FILE] [--verbose]
+//           [--metrics-out FILE] [--metrics-full] [--trace-out FILE]
+//           [--events-out FILE] [--progress] [--verbose]
 //       Build the traffic map from public-data measurements; optionally
 //       export JSON and/or CSV artifacts. --threads shards the scan and
 //       routing stages (0 = hardware concurrency, 1 = serial); the map is
 //       byte-identical for every thread count. --metrics-out writes the
 //       deterministic pipeline metrics (also byte-identical across thread
-//       counts); --trace-out writes a Chrome trace-event JSON loadable in
-//       Perfetto; --verbose prints per-stage progress to stderr.
+//       counts; add --metrics-full to append the wall-clock section —
+//       timings, RSS, imbalance, latency quantiles — for `itm obs report`);
+//       --trace-out writes a Chrome trace-event JSON loadable in Perfetto;
+//       --events-out journals the last N pipeline events as JSONL (flushed
+//       even when the build dies on a signal — the flight recorder);
+//       --progress prints a ~1 Hz heartbeat with per-stage ETA to stderr;
+//       --verbose prints per-stage progress to stderr.
 //   itm outage <as-name> [--seed N] [--scale S]
 //       Map-based outage estimate plus ground-truth what-if simulation.
 //   itm path <src-as> <dst-as> [--seed N] [--scale S]
@@ -32,11 +38,22 @@
 //       Load an `.itms` snapshot and answer a line-delimited query batch
 //       (one answer line per query line, in input order; blank lines and
 //       `#` comments are skipped). See serve/query_engine.h for the verbs.
+//   itm obs report <metrics.json> [--baseline <metrics.json>]
+//                  [--perf-tolerance X]
+//       Per-stage run summary (wall time, RSS delta, shard imbalance, top
+//       counters, latency quantiles) from a `--metrics-out --metrics-full`
+//       export. With --baseline, diffs two runs with per-metric tolerance
+//       classes (deterministic: exact; wall-clock: ratio band, default x25)
+//       and exits 1 on regression.
+//   itm obs trace <trace.json>
+//       Per-stage critical-path and shard-imbalance stats from a
+//       `--trace-out` Chrome trace.
 //   itm version
 //       Print build information (compiler, build type, sanitizer flags).
 //
-// Exit codes: 0 success, 2 bad usage (missing operand/value, unknown flag),
-// 3 unknown subcommand, 4 runtime error (unknown AS, unreadable file).
+// Exit codes: 0 success, 1 regression (itm obs report --baseline only),
+// 2 bad usage (missing operand/value, unknown flag), 3 unknown subcommand,
+// 4 runtime error (unknown AS, unreadable file).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -51,6 +68,9 @@
 #include "core/traffic_map.h"
 #include "core/whatif.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_reader.h"
@@ -79,11 +99,16 @@ struct CliOptions {
   std::optional<std::string> json_path;
   std::optional<std::string> csv_prefix;
   std::optional<std::string> metrics_path;
+  bool metrics_full = false;  // append the wall-clock section to --metrics-out
   std::optional<std::string> trace_path;
+  std::optional<std::string> events_path;    // flight-recorder journal
+  bool progress = false;                     // ~1 Hz heartbeat on stderr
   std::optional<std::string> out_path;       // itm snapshot --out
   std::optional<std::string> snapshot_path;  // itm serve --snapshot
   std::optional<std::string> queries_path;   // itm serve --queries
   std::size_t cache_size = 1024;             // itm serve --cache-size
+  std::optional<std::string> baseline_path;  // itm obs report --baseline
+  double perf_tolerance = 25.0;              // itm obs report ratio band
   bool verbose = false;
   std::vector<std::string> positional;
 };
@@ -112,8 +137,18 @@ CliOptions parse(int argc, char** argv, int first) {
       options.csv_prefix = next();
     } else if (arg == "--metrics-out") {
       options.metrics_path = next();
+    } else if (arg == "--metrics-full") {
+      options.metrics_full = true;
     } else if (arg == "--trace-out") {
       options.trace_path = next();
+    } else if (arg == "--events-out") {
+      options.events_path = next();
+    } else if (arg == "--progress") {
+      options.progress = true;
+    } else if (arg == "--baseline") {
+      options.baseline_path = next();
+    } else if (arg == "--perf-tolerance") {
+      options.perf_tolerance = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--out") {
       options.out_path = next();
     } else if (arg == "--snapshot") {
@@ -139,6 +174,44 @@ CliOptions parse(int argc, char** argv, int first) {
   }
   return options;
 }
+
+// Run-scoped flight recorder + progress heartbeat, driven by --events-out /
+// --progress. The recorder's crash handlers stay installed for the rest of
+// the process (that is their point); the destructor handles the normal-exit
+// flush and stops the heartbeat thread.
+class RunInstrumentation {
+ public:
+  explicit RunInstrumentation(const CliOptions& options) {
+    if (options.events_path) {
+      try {
+        obs::recorder().enable(*options.events_path);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(kExitRuntime);
+      }
+      obs::install_crash_flush();
+      char fields[160];
+      std::snprintf(fields, sizeof fields,
+                    "\"seed\": %llu, \"scale\": \"%s\", \"threads\": %zu",
+                    static_cast<unsigned long long>(options.seed),
+                    options.scale.c_str(), options.threads);
+      obs::recorder().event("run.begin", fields);
+    }
+    if (options.progress) obs::progress().enable();
+  }
+  ~RunInstrumentation() {
+    obs::progress().disable();
+    if (obs::recorder().enabled()) {
+      char fields[96];
+      std::snprintf(fields, sizeof fields, "\"peak_rss_bytes\": %llu",
+                    static_cast<unsigned long long>(obs::peak_rss_bytes()));
+      obs::recorder().event("run.end", fields);
+      obs::recorder().flush();
+    }
+  }
+  RunInstrumentation(const RunInstrumentation&) = delete;
+  RunInstrumentation& operator=(const RunInstrumentation&) = delete;
+};
 
 std::unique_ptr<core::Scenario> make_scenario(const CliOptions& options) {
   core::ScenarioConfig config;
@@ -202,8 +275,14 @@ int cmd_map(const CliOptions& options) {
   obs::Tracer trace;
   const obs::ScopedMetrics metrics_scope(registry);
   const obs::ScopedTracer trace_scope(trace);
+  const RunInstrumentation instrumentation(options);
 
-  auto scenario = make_scenario(options);
+  // Stage 0 of the run: a SIGTERM during generation must still leave a
+  // journal naming the stage in flight, exactly like the build stages.
+  auto scenario = [&options] {
+    const obs::StageScope stage("map.generate", 0, 5);
+    return make_scenario(options);
+  }();
   core::MapBuilder builder(*scenario);
   core::MapBuildOptions build_options;
   build_options.threads = options.threads;
@@ -247,12 +326,15 @@ int cmd_map(const CliOptions& options) {
     write("_links.csv", core::export_recommended_links_csv);
   }
   if (options.metrics_path) {
-    // Deterministic section only: this artifact is byte-identical for every
-    // --threads value (tools/check_metrics.sh gates on it). Wall-time data
-    // belongs in the trace.
+    // Deterministic section only by default: that artifact is byte-identical
+    // for every --threads value (tools/check_metrics.sh gates on it).
+    // --metrics-full opts into the wall-clock section (stage timings, RSS,
+    // imbalance, quantiles) for `itm obs report`; never diff that one.
     std::ofstream out(*options.metrics_path);
     registry.write_json(out,
-                        obs::MetricsRegistry::Export::kDeterministicOnly);
+                        options.metrics_full
+                            ? obs::MetricsRegistry::Export::kAll
+                            : obs::MetricsRegistry::Export::kDeterministicOnly);
     std::cout << "wrote " << *options.metrics_path << "\n";
   }
   if (options.trace_path) {
@@ -260,6 +342,9 @@ int cmd_map(const CliOptions& options) {
     trace.write_chrome_trace(out);
     std::cout << "wrote " << *options.trace_path
               << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (options.events_path) {
+    std::cout << "wrote " << *options.events_path << " (event journal)\n";
   }
   if (options.verbose) {
     std::cerr << "[itm] metrics:\n";
@@ -433,8 +518,14 @@ int cmd_snapshot(const CliOptions& options) {
   }
   obs::MetricsRegistry registry;
   const obs::ScopedMetrics metrics_scope(registry);
+  const RunInstrumentation instrumentation(options);
 
-  auto scenario = make_scenario(options);
+  // Stage 0 of the run: a SIGTERM during generation must still leave a
+  // journal naming the stage in flight, exactly like the build stages.
+  auto scenario = [&options] {
+    const obs::StageScope stage("map.generate", 0, 5);
+    return make_scenario(options);
+  }();
   core::MapBuilder builder(*scenario);
   core::MapBuildOptions build_options;
   build_options.threads = options.threads;
@@ -469,7 +560,9 @@ int cmd_snapshot(const CliOptions& options) {
   if (options.metrics_path) {
     std::ofstream metrics_out(*options.metrics_path);
     registry.write_json(metrics_out,
-                        obs::MetricsRegistry::Export::kDeterministicOnly);
+                        options.metrics_full
+                            ? obs::MetricsRegistry::Export::kAll
+                            : obs::MetricsRegistry::Export::kDeterministicOnly);
     std::cout << "wrote " << *options.metrics_path << "\n";
   }
   return 0;
@@ -489,12 +582,22 @@ int cmd_serve(const CliOptions& options) {
     std::cerr << "cannot open " << *options.snapshot_path << "\n";
     return kExitRuntime;
   }
+  const obs::Stopwatch load_watch;
   std::string error;
   const auto snapshot = serve::read_snapshot(snapshot_in, &error);
   if (!snapshot) {
     std::cerr << *options.snapshot_path << ": " << error << "\n";
     return kExitRuntime;
   }
+  // Snapshot-load instrumentation: the byte count is a pure function of the
+  // snapshot file (deterministic); the load duration is not.
+  snapshot_in.clear();
+  snapshot_in.seekg(0, std::ios::end);
+  obs::gauge_set("serve.snapshot.bytes",
+                 static_cast<std::int64_t>(snapshot_in.tellg()));
+  obs::gauge_set("serve.snapshot.load_ms",
+                 static_cast<std::int64_t>(load_watch.elapsed_us() / 1000),
+                 obs::Determinism::kWallClock);
   std::ifstream queries_in(*options.queries_path);
   if (!queries_in) {
     std::cerr << "cannot open " << *options.queries_path << "\n";
@@ -509,16 +612,37 @@ int cmd_serve(const CliOptions& options) {
   obs::count("serve.queries", engine.queries_executed());
   obs::count("serve.cache.hits", engine.cache_hits());
   obs::count("serve.cache.misses", engine.cache_misses());
+  obs::count("serve.cache.evictions", engine.cache_evictions());
   std::cerr << "served " << engine.queries_executed() << " queries ("
             << engine.cache_hits() << " cache hits, seed "
             << snapshot->seed << ")\n";
   if (options.metrics_path) {
     std::ofstream metrics_out(*options.metrics_path);
     registry.write_json(metrics_out,
-                        obs::MetricsRegistry::Export::kDeterministicOnly);
+                        options.metrics_full
+                            ? obs::MetricsRegistry::Export::kAll
+                            : obs::MetricsRegistry::Export::kDeterministicOnly);
     std::cout << "wrote " << *options.metrics_path << "\n";
   }
   return 0;
+}
+
+int cmd_obs(const CliOptions& options) {
+  if (options.positional.size() < 2 ||
+      (options.positional[0] != "report" && options.positional[0] != "trace")) {
+    std::cerr << "usage: itm obs report <metrics.json> "
+                 "[--baseline <metrics.json>] [--perf-tolerance X]\n"
+                 "       itm obs trace <trace.json>\n";
+    return kExitUsage;
+  }
+  if (options.positional[0] == "trace") {
+    return obs::run_obs_trace(options.positional[1], std::cout, std::cerr);
+  }
+  obs::ObsReportOptions report_options;
+  report_options.metrics_path = options.positional[1];
+  report_options.baseline_path = options.baseline_path.value_or("");
+  report_options.wall_tolerance = options.perf_tolerance;
+  return obs::run_obs_report(report_options, std::cout, std::cerr);
 }
 
 // Build information baked in by tools/CMakeLists.txt; the fallbacks keep
@@ -551,7 +675,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: itm "
                  "<generate|map|outage|path|top|rel-export|rel-path|"
-                 "snapshot|serve|version> [options]\n";
+                 "snapshot|serve|obs|version> [options]\n";
     return kExitUsage;
   }
   const std::string command = argv[1];
@@ -565,6 +689,7 @@ int main(int argc, char** argv) {
   if (command == "rel-path") return cmd_rel_path(options);
   if (command == "snapshot") return cmd_snapshot(options);
   if (command == "serve") return cmd_serve(options);
+  if (command == "obs") return cmd_obs(options);
   if (command == "version") return cmd_version();
   std::cerr << "unknown command '" << command << "'\n";
   return kExitUnknownCommand;

@@ -18,10 +18,11 @@ constexpr std::string_view kRuleRngDiscipline = "rng-discipline";
 constexpr std::string_view kRuleExecutorCapture = "executor-capture";
 constexpr std::string_view kRuleFloatReduction = "float-reduction-order";
 constexpr std::string_view kRuleStaleSuppression = "stale-suppression";
+constexpr std::string_view kRuleMetricName = "metric-name-format";
 
 const std::set<std::string_view> kKnownRules = {
     kRuleNondetIteration, kRuleBannedSources,  kRuleRngDiscipline,
-    kRuleExecutorCapture, kRuleFloatReduction,
+    kRuleExecutorCapture, kRuleFloatReduction, kRuleMetricName,
 };
 
 const std::set<std::string_view> kUnorderedTypes = {
@@ -349,6 +350,7 @@ class FileLinter {
     rule_banned_sources();
     rule_nondet_iteration();
     rule_executor_lambdas();
+    rule_metric_names();
     flush();
     return std::move(suppressions_);
   }
@@ -568,6 +570,60 @@ class FileLinter {
       }
     }
     return false;
+  }
+
+  // --- metric-name-format --------------------------------------------------
+  // Metric and span names are a flat namespace shared across the whole
+  // pipeline, dumped into JSON keys and diffed by tools: they must be
+  // lowercase dotted identifiers ([a-z0-9_.]+). Only obs call sites with a
+  // string-literal first argument are checked — bare `count`/`observe`
+  // collide with std names, so the free functions require `obs::`
+  // qualification and the registry methods a `.`/`->` receiver.
+  void rule_metric_names() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = code_[i];
+      if (!is_ident(t)) continue;
+      bool site = false;
+      if (t.text == "count" || t.text == "gauge_set" ||
+          t.text == "gauge_max" || t.text == "observe" ||
+          t.text == "observe_quantile") {
+        site = i >= 2 && is_punct(code_[i - 1], "::") &&
+               is_ident(code_[i - 2], "obs");
+      } else if (t.text == "counter" || t.text == "gauge" ||
+                 t.text == "histogram" || t.text == "quantile") {
+        site = i >= 1 && (is_punct(code_[i - 1], ".") ||
+                          is_punct(code_[i - 1], "->"));
+      } else if (t.text == "Span" || t.text == "StageScope") {
+        site = true;
+      }
+      // The name literal is the first ( argument; RAII declarations put the
+      // variable identifier between the type and the paren (Span s("x")).
+      std::size_t open = i + 1;
+      if (site && (t.text == "Span" || t.text == "StageScope") &&
+          open < code_.size() && is_ident(code_[open])) {
+        ++open;
+      }
+      if (!site || open + 1 >= code_.size() || !is_punct(code_[open], "(") ||
+          code_[open + 1].kind != TokKind::kString) {
+        continue;
+      }
+      std::string_view name = code_[open + 1].text;  // quotes included
+      if (name.size() < 2 || name.front() != '"' || name.back() != '"') {
+        continue;  // char/raw literal — not a metric name
+      }
+      name = name.substr(1, name.size() - 2);
+      const bool ok =
+          !name.empty() && std::all_of(name.begin(), name.end(), [](char c) {
+            return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                   c == '_' || c == '.';
+          });
+      if (!ok) {
+        report(code_[open + 1].line, kRuleMetricName,
+               "metric/span name \"" + std::string(name) +
+                   "\" must match [a-z0-9_.]+ — one flat lowercase dotted "
+                   "namespace keeps exports greppable and diffable");
+      }
+    }
   }
 
   // --- rng-discipline / executor-capture / float-reduction-order -----------

@@ -1,0 +1,115 @@
+# The observability gate: one tiny-tier build with the full instrumentation
+# surface on (--progress heartbeat, --events-out flight journal, --trace-out,
+# --metrics-out --metrics-full), then `itm obs report`/`itm obs trace` over
+# the artifacts, including the baseline-diff exit-code contract (0 within
+# tolerance, 1 on an injected deterministic regression).
+
+execute_process(COMMAND ${ITM_BIN} map --scale tiny --seed 7 --threads 4
+                        --progress
+                        --events-out ${WORK_DIR}/obs_events.jsonl
+                        --trace-out ${WORK_DIR}/obs_trace.json
+                        --metrics-out ${WORK_DIR}/obs_metrics.json
+                        --metrics-full
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "instrumented itm map failed: ${err}")
+endif()
+
+# The flight journal is bounded JSONL: non-empty, every line an object with
+# the fixed keys, ending on the normal-exit run.end event.
+file(READ ${WORK_DIR}/obs_events.jsonl journal)
+string(REGEX REPLACE "\n+$" "" journal "${journal}")
+string(REPLACE "\n" ";" journal_lines "${journal}")
+list(LENGTH journal_lines journal_count)
+if(journal_count EQUAL 0)
+  message(FATAL_ERROR "events journal is empty")
+endif()
+if(journal_count GREATER 256)
+  message(FATAL_ERROR
+          "events journal has ${journal_count} lines; the ring bounds it "
+          "to 256")
+endif()
+foreach(line IN LISTS journal_lines)
+  if(NOT line MATCHES "^{\"ts_ms\": [0-9]+, \"seq\": [0-9]+, \"event\": ")
+    message(FATAL_ERROR "malformed journal line: ${line}")
+  endif()
+endforeach()
+list(GET journal_lines -1 last_line)
+if(NOT last_line MATCHES "\"event\": \"run.end\"")
+  message(FATAL_ERROR "journal must end with run.end, got: ${last_line}")
+endif()
+if(NOT journal MATCHES "\"event\": \"stage.begin\"")
+  message(FATAL_ERROR "journal has no stage.begin events")
+endif()
+
+# The full metrics export carries the wall-clock section the report reads.
+file(READ ${WORK_DIR}/obs_metrics.json metrics)
+if(NOT metrics MATCHES "wall_clock")
+  message(FATAL_ERROR "--metrics-full export missing wall_clock section")
+endif()
+
+# Report without baseline: summary only, exit 0, stage table present.
+execute_process(COMMAND ${ITM_BIN} obs report ${WORK_DIR}/obs_metrics.json
+                RESULT_VARIABLE rc_report OUTPUT_VARIABLE report_out
+                ERROR_VARIABLE report_err)
+if(NOT rc_report EQUAL 0)
+  message(FATAL_ERROR "itm obs report failed (${rc_report}): ${report_err}")
+endif()
+if(NOT report_out MATCHES "stage" OR NOT report_out MATCHES "top counters")
+  message(FATAL_ERROR "report missing stage table or counters: ${report_out}")
+endif()
+
+# Self-baseline: byte-identical metrics must pass the diff.
+execute_process(COMMAND ${ITM_BIN} obs report ${WORK_DIR}/obs_metrics.json
+                        --baseline ${WORK_DIR}/obs_metrics.json
+                RESULT_VARIABLE rc_same OUTPUT_VARIABLE same_out
+                ERROR_VARIABLE same_err)
+if(NOT rc_same EQUAL 0)
+  message(FATAL_ERROR "self-baseline report failed: ${same_out}${same_err}")
+endif()
+
+# Injected regression: perturb one deterministic counter in a copy of the
+# export; the exact-match class must flag it with exit 1.
+file(READ ${WORK_DIR}/obs_metrics.json doctored)
+string(REGEX REPLACE "(\"executor\\.batches\": )([0-9]+)" "\\19999999"
+       doctored "${doctored}")
+file(WRITE ${WORK_DIR}/obs_metrics_doctored.json "${doctored}")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/obs_metrics.json
+                        ${WORK_DIR}/obs_metrics_doctored.json
+                RESULT_VARIABLE doctored_diff)
+if(doctored_diff EQUAL 0)
+  message(FATAL_ERROR "failed to inject regression into metrics copy")
+endif()
+execute_process(COMMAND ${ITM_BIN} obs report
+                        ${WORK_DIR}/obs_metrics_doctored.json
+                        --baseline ${WORK_DIR}/obs_metrics.json
+                RESULT_VARIABLE rc_regress OUTPUT_VARIABLE regress_out
+                ERROR_VARIABLE regress_err)
+if(NOT rc_regress EQUAL 1)
+  message(FATAL_ERROR
+          "injected regression exited ${rc_regress}, want 1: "
+          "${regress_out}${regress_err}")
+endif()
+if(NOT regress_out MATCHES "REGRESSION")
+  message(FATAL_ERROR "regression diagnostic missing: ${regress_out}")
+endif()
+
+# Trace analysis: stage table over the chrome trace, exit 0.
+execute_process(COMMAND ${ITM_BIN} obs trace ${WORK_DIR}/obs_trace.json
+                RESULT_VARIABLE rc_trace OUTPUT_VARIABLE trace_out
+                ERROR_VARIABLE trace_err)
+if(NOT rc_trace EQUAL 0)
+  message(FATAL_ERROR "itm obs trace failed (${rc_trace}): ${trace_err}")
+endif()
+if(NOT trace_out MATCHES "stage critical path")
+  message(FATAL_ERROR "trace analysis missing stage table: ${trace_out}")
+endif()
+
+# Unreadable inputs are runtime errors (exit 4), never silent passes.
+execute_process(COMMAND ${ITM_BIN} obs report ${WORK_DIR}/no_such_file.json
+                RESULT_VARIABLE rc_missing OUTPUT_VARIABLE ignored
+                ERROR_VARIABLE ignored_err)
+if(NOT rc_missing EQUAL 4)
+  message(FATAL_ERROR "missing metrics file exited ${rc_missing}, want 4")
+endif()
