@@ -25,28 +25,25 @@
 #include "core/workload.h"
 #include "net/executor.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "scan/cache_prober.h"
 #include "scan/root_crawler.h"
 
 namespace itm::bench {
 
-// Wall-clock stopwatch for per-stage timing and speedup reporting.
+// Wall-clock stopwatch for per-stage timing and speedup reporting, backed
+// by the sanctioned obs::Stopwatch (bench timings are wall-clock by nature
+// and never enter the byte-equivalence diff).
 class WallTimer {
  public:
-  // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
-  void reset() { start_ = std::chrono::steady_clock::now(); }
+  WallTimer() = default;
+  void reset() { watch_.reset(); }
   [[nodiscard]] double seconds() const {
-    // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
+    return static_cast<double>(watch_.elapsed_ns()) * 1e-9;
   }
 
  private:
-  // itm-lint: allow(banned-nondet-sources) -- bench stopwatch, never diffed
-  std::chrono::steady_clock::time_point start_;
+  obs::Stopwatch watch_;
 };
 
 // Prints "<stage>: serial 1.23 s, 4 threads 0.41 s (3.0x)" to stderr.

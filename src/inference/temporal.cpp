@@ -57,8 +57,8 @@ TemporalScore score_temporal(const TemporalActivity& activity,
     if (series == nullptr) continue;
     double mean = 0;
     // `series` points at a std::vector (the name matches TemporalActivity's
-    // unordered member, but this is its ordered mapped value).
-    // itm-lint: allow(nondet-iteration)
+    // unordered member, but this is its ordered mapped value — the linter's
+    // local-declaration override sees the vector-typed binding above).
     for (const double v : *series) mean += v;
     mean /= static_cast<double>(series->size());
     if (mean < min_mean_rate) continue;

@@ -228,4 +228,15 @@ inline void observe_quantile(std::string_view name, std::uint64_t sample) {
   metrics().quantile(name).observe(sample);
 }
 
+// Sanctioned escape hatch for itm-lint's determinism-taint rule: wrapping a
+// wall-clock-derived expression asserts the caller has reduced it to
+// something reproducible (rounded to a fixed bucket, clamped to a config
+// bound, compared against a threshold that only gates logging). The cast is
+// an identity at runtime; its value is the written-down claim at the call
+// site, which the lint rule trusts and a reviewer can audit.
+template <typename T>
+[[nodiscard]] constexpr T deterministic_cast(T value) {
+  return value;
+}
+
 }  // namespace itm::obs

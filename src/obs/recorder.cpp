@@ -186,6 +186,10 @@ std::terminate_handler g_previous_terminate = nullptr;
 
 [[noreturn]] void terminate_flush() {
   recorder().flush_from_signal(0);
+  // Chaining to the displaced handler is deliberate: whatever the embedder
+  // installed (often a logging hook that allocates) runs after our ring is
+  // already on disk, so its safety is its own problem — and the default
+  // handler is the common case. itm-lint: allow(signal-safety)
   if (g_previous_terminate != nullptr) g_previous_terminate();
   std::abort();
 }

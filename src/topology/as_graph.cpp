@@ -122,8 +122,8 @@ std::size_t AsGraph::memory_bytes() const {
              as.facilities.capacity() * sizeof(FacilityId);
   }
   // links_ here is the std::vector<Link> member, not routing::PublicView's
-  // unordered set of the same name; a capacity sum is order-independent
-  // anyway. itm-lint: allow(nondet-iteration)
+  // unordered set of the same name; include-closure scoping keeps the two
+  // apart now that the linter resolves names per translation unit.
   for (const auto& link : links_) {
     total += link.facilities.capacity() * sizeof(FacilityId);
   }

@@ -106,6 +106,8 @@ TEST_F(ExportTest, JsonMatchesGoldenFile) {
   std::ostringstream os;
   export_map_json(*map_, *scenario_, os);
   const std::string path = std::string(ITM_GOLDEN_DIR) + "/map_tiny808.json";
+  // Golden refresh is an operator action, opted into from the shell; an
+  // env probe is the only sane trigger. itm-lint: allow(banned-nondet-sources)
   if (std::getenv("ITM_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(path);
     ASSERT_TRUE(out) << "cannot write " << path;

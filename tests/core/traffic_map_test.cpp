@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "inference/client_detection.h"
+#include "net/ordered.h"
 
 namespace itm::core {
 namespace {
@@ -67,7 +68,7 @@ TEST_F(TrafficMapTest, TlsComponentFindsOffnets) {
 
 TEST_F(TrafficMapTest, UserMappingOnlyEcsServices) {
   EXPECT_FALSE(map_->user_mapping.empty());
-  for (const auto& [sid, mapping] : map_->user_mapping) {
+  for (const auto& [sid, mapping] : net::sorted_items(map_->user_mapping)) {
     const auto& svc = scenario_->catalog().service(ServiceId(sid));
     EXPECT_TRUE(svc.supports_ecs);
     EXPECT_FALSE(mapping.empty());

@@ -4,6 +4,7 @@
 #include "core/workload.h"
 #include "inference/activity.h"
 #include "inference/temporal.h"
+#include "net/ordered.h"
 
 namespace itm::inference {
 namespace {
@@ -40,7 +41,7 @@ scan::CacheProber* TemporalAssocTest::prober_ = nullptr;
 TEST_F(TemporalAssocTest, SweepRecordsMatchSweepCount) {
   EXPECT_EQ(prober_->sweep_records().size(), 12u);
   for (const auto& record : prober_->sweep_records()) {
-    for (const auto& [asn, counts] : record.by_as) {
+    for (const auto& [asn, counts] : net::sorted_items(record.by_as)) {
       EXPECT_LE(counts.first, counts.second);  // hits <= probes
     }
   }
@@ -49,7 +50,7 @@ TEST_F(TemporalAssocTest, SweepRecordsMatchSweepCount) {
 TEST_F(TemporalAssocTest, SeriesAlignedWithSweeps) {
   const auto activity = temporal_activity(*prober_);
   EXPECT_EQ(activity.sweep_times.size(), 12u);
-  for (const auto& [asn, series] : activity.series) {
+  for (const auto& [asn, series] : net::sorted_items(activity.series)) {
     EXPECT_EQ(series.size(), 12u);
   }
   EXPECT_FALSE(activity.series.empty());
@@ -94,7 +95,7 @@ TEST_F(TemporalAssocTest, AssociationsImproveRootCoverage) {
   // Count access ASes detected by each.
   const auto count_access = [&](const ActivityEstimate& est) {
     std::size_t n = 0;
-    for (const auto& [asn, score] : est.by_as) {
+    for (const auto& [asn, score] : net::sorted_items(est.by_as)) {
       if (score > 0 && scenario_->topo().graph.info(Asn(asn)).type ==
                            topology::AsType::kAccess) {
         ++n;

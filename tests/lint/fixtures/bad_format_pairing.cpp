@@ -1,0 +1,44 @@
+// bad: the writer emits [u32 u64] for kMeta but the reader consumes only
+// [u32], and kLinks is written but never parsed — both are .itms ABI drift.
+#include <cstdint>
+
+struct ByteWriter {
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+};
+
+struct ByteReader {
+  std::uint32_t u32();
+  std::uint64_t u64();
+};
+
+enum class SectionId { kMeta, kLinks };
+
+struct SectionTable {};
+void write_section(SectionTable& table, SectionId id, ByteWriter& payload);
+
+struct Snapshot {
+  ByteReader payload(SectionId id) const;
+};
+
+void parse_meta(ByteReader r) {
+  (void)r.u32();
+}
+
+void write_snapshot(SectionTable& table) {
+  {
+    ByteWriter s;
+    s.u32(1);
+    s.u64(2);
+    write_section(table, SectionId::kMeta, s);
+  }
+  {
+    ByteWriter s;
+    s.u32(3);
+    write_section(table, SectionId::kLinks, s);
+  }
+}
+
+void read_snapshot(const Snapshot& snap) {
+  parse_meta(snap.payload(SectionId::kMeta));
+}

@@ -1,0 +1,28 @@
+// bad: the registered crash handler reaches malloc two calls deep — the
+// rule must walk the call graph, not just scan the handler body.
+#include <csignal>
+#include <cstdlib>
+
+namespace {
+
+char* format_crash_line(int signo) {
+  char* buf = static_cast<char*>(std::malloc(64));
+  buf[0] = static_cast<char>('0' + signo % 10);
+  buf[1] = '\n';
+  return buf;
+}
+
+void emit_crash_report(int signo) {
+  char* line = format_crash_line(signo);
+  (void)line;
+}
+
+void crash_handler(int signo) { emit_crash_report(signo); }
+
+}  // namespace
+
+void install_handler() {
+  struct sigaction action {};
+  action.sa_handler = crash_handler;
+  ::sigaction(SIGSEGV, &action, nullptr);
+}

@@ -1,0 +1,31 @@
+// good: wall-clock values are either registered kWallClock or reduced to a
+// reproducible value through the sanctioned obs::deterministic_cast.
+#include <cstdint>
+
+struct Stopwatch {
+  std::uint64_t elapsed_ns() const;
+};
+
+namespace obs {
+enum class Determinism { kDeterministic, kWallClock };
+void count(const char* name, std::uint64_t n);
+void gauge_set(const char* name, std::int64_t v, Determinism det);
+template <typename T>
+T deterministic_cast(T value);
+}  // namespace obs
+
+constexpr std::uint64_t kSlowNs = 1000000;
+
+std::uint64_t slow_probe_flag(const Stopwatch& watch) {
+  // The comparison collapses the wall-clock reading to a threshold bit the
+  // caller treats as configuration; the cast is the written-down claim.
+  return obs::deterministic_cast(
+      static_cast<std::uint64_t>(watch.elapsed_ns() > kSlowNs ? 1 : 0));
+}
+
+void record(const Stopwatch& watch, std::uint64_t items) {
+  obs::count("build.items", items);
+  obs::gauge_set("build.elapsed_ns",
+                 static_cast<std::int64_t>(watch.elapsed_ns()),
+                 obs::Determinism::kWallClock);
+}

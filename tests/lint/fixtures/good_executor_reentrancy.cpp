@@ -1,0 +1,25 @@
+// good: the helper that submits parallel work runs before/after the
+// callback, never from inside it; the callback writes per-index slots.
+#include <cstddef>
+#include <vector>
+
+struct Shard {
+  std::size_t begin;
+  std::size_t end;
+};
+
+struct Executor {
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn);
+};
+
+void rescan_block(Executor& executor, std::size_t n) {
+  executor.parallel_for(n, [](const Shard&) {});
+}
+
+void build_all(Executor& executor, std::vector<int>& out) {
+  executor.parallel_for(out.size(), [&out](const Shard& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) out[i] += 1;
+  });
+  rescan_block(executor, 8);
+}

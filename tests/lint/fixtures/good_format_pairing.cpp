@@ -1,0 +1,50 @@
+// good: every written section has a reader parsing the same flattened
+// field sequence.
+#include <cstdint>
+
+struct ByteWriter {
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+};
+
+struct ByteReader {
+  std::uint32_t u32();
+  std::uint64_t u64();
+};
+
+enum class SectionId { kMeta, kLinks };
+
+struct SectionTable {};
+void write_section(SectionTable& table, SectionId id, ByteWriter& payload);
+
+struct Snapshot {
+  ByteReader payload(SectionId id) const;
+};
+
+void parse_meta(ByteReader r) {
+  (void)r.u32();
+  (void)r.u64();
+}
+
+void parse_links(ByteReader r) {
+  (void)r.u32();
+}
+
+void write_snapshot(SectionTable& table) {
+  {
+    ByteWriter s;
+    s.u32(1);
+    s.u64(2);
+    write_section(table, SectionId::kMeta, s);
+  }
+  {
+    ByteWriter s;
+    s.u32(3);
+    write_section(table, SectionId::kLinks, s);
+  }
+}
+
+void read_snapshot(const Snapshot& snap) {
+  parse_meta(snap.payload(SectionId::kMeta));
+  parse_links(snap.payload(SectionId::kLinks));
+}

@@ -1,0 +1,118 @@
+// Unit tests for the itm-lint lexer: the literal forms most likely to
+// desynchronise a token scanner — raw strings (including prefixed ones),
+// digit separators, and user-defined literal suffixes — must each come back
+// as one token, so rule keywords hiding inside them never look like code.
+#include "lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace itm::lint {
+namespace {
+
+std::vector<Token> code_tokens(std::string_view src,
+                               const std::vector<Token>& all) {
+  (void)src;
+  std::vector<Token> out;
+  for (const Token& t : all) {
+    if (is_code(t)) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(Lexer, RawStringIsOneTokenEvenWithQuotesAndParens) {
+  const std::string src = "auto s = R\"(no \"escape\" needed)\";";
+  const auto toks = tokenize(src);
+  const auto code = code_tokens(src, toks);
+  ASSERT_EQ(code.size(), 5u);  // auto s = <raw> ;
+  EXPECT_EQ(code[3].kind, TokKind::kString);
+  EXPECT_EQ(code[3].text, "R\"(no \"escape\" needed)\"");
+}
+
+TEST(Lexer, RawStringWithDelimiterStopsAtMatchingCloser) {
+  const std::string src = "auto s = R\"x()\" not the end()x\";";
+  const auto code = code_tokens(src, tokenize(src));
+  ASSERT_EQ(code.size(), 5u);
+  EXPECT_EQ(code[3].kind, TokKind::kString);
+  EXPECT_EQ(code[3].text, "R\"x()\" not the end()x\"");
+}
+
+TEST(Lexer, PrefixedRawStringsAreStrings) {
+  for (const char* prefix : {"u8", "u", "U", "L"}) {
+    const std::string src = std::string(prefix) + "R\"(steady_clock)\";";
+    const auto code = code_tokens(src, tokenize(src));
+    ASSERT_EQ(code.size(), 2u) << "prefix " << prefix;
+    EXPECT_EQ(code[0].kind, TokKind::kString) << "prefix " << prefix;
+  }
+}
+
+TEST(Lexer, BannedNameInsideRawStringIsNotAnIdentifier) {
+  const std::string src = R"src(const char* doc = R"(use random_device)";)src";
+  for (const Token& t : tokenize(src)) {
+    EXPECT_FALSE(t.kind == TokKind::kIdentifier &&
+                 t.text == "random_device")
+        << "raw string content leaked into the identifier stream";
+  }
+}
+
+TEST(Lexer, DigitSeparatorsStayInOneNumberToken) {
+  const std::string src = "auto n = 1'000'000; auto h = 0xFF'FFu;";
+  const auto code = code_tokens(src, tokenize(src));
+  ASSERT_GE(code.size(), 9u);
+  EXPECT_EQ(code[3].kind, TokKind::kNumber);
+  EXPECT_EQ(code[3].text, "1'000'000");
+  EXPECT_EQ(code[8].kind, TokKind::kNumber);
+  EXPECT_EQ(code[8].text, "0xFF'FFu");
+}
+
+TEST(Lexer, UdlSuffixSticksToItsLiteral) {
+  const std::string src = "auto d = 250ms; auto s = \"x\"sv;";
+  const auto code = code_tokens(src, tokenize(src));
+  // 250ms must be one number token, not number + identifier.
+  ASSERT_GE(code.size(), 5u);
+  EXPECT_EQ(code[3].kind, TokKind::kNumber);
+  EXPECT_EQ(code[3].text, "250ms");
+  // "x"sv must be one string token.
+  EXPECT_EQ(code[8].kind, TokKind::kString);
+  EXPECT_EQ(code[8].text, "\"x\"sv");
+}
+
+TEST(Lexer, FloatExponentsAndHexFloats) {
+  const std::string src = "auto a = 1.5e-3; auto b = 0x1.8p3;";
+  const auto code = code_tokens(src, tokenize(src));
+  ASSERT_GE(code.size(), 5u);
+  EXPECT_EQ(code[3].kind, TokKind::kNumber);
+  EXPECT_EQ(code[3].text, "1.5e-3");
+  EXPECT_EQ(code[8].kind, TokKind::kNumber);
+  EXPECT_EQ(code[8].text, "0x1.8p3");
+}
+
+TEST(Lexer, CommentsAreKeptButNotCode) {
+  const std::string src = "int a; // itm-lint: allow(nondet-iteration)\n"
+                          "/* block */ int b;";
+  const auto toks = tokenize(src);
+  std::size_t comments = 0;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kComment) ++comments;
+  }
+  EXPECT_EQ(comments, 2u);
+  const auto code = code_tokens(src, toks);
+  ASSERT_EQ(code.size(), 6u);  // int a ; int b ;
+  EXPECT_EQ(code[4].text, "b");
+}
+
+TEST(Lexer, LineNumbersSurviveMultilineLiterals) {
+  const std::string src = "auto s = R\"(line one\nline two)\";\nint after;";
+  const auto code = code_tokens(src, tokenize(src));
+  ASSERT_EQ(code.size(), 8u);
+  EXPECT_EQ(code[3].kind, TokKind::kString);
+  EXPECT_EQ(code[3].line, 1u);
+  // `int` opens line 3: the raw string consumed one embedded newline.
+  EXPECT_EQ(code[5].text, "int");
+  EXPECT_EQ(code[5].line, 3u);
+}
+
+}  // namespace
+}  // namespace itm::lint

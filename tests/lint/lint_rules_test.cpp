@@ -9,7 +9,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace itm::lint {
@@ -58,8 +60,10 @@ INSTANTIATE_TEST_SUITE_P(Rules, GoldenFixture,
                          ::testing::Values("nondet_iteration", "banned_sources",
                                            "rng_discipline", "executor_capture",
                                            "float_reduction",
-                                           "stale_suppression",
-                                           "metric_name"));
+                                           "stale_suppression", "metric_name",
+                                           "signal_safety", "determinism_taint",
+                                           "executor_reentrancy",
+                                           "format_pairing"));
 
 class CleanFixture : public ::testing::TestWithParam<const char*> {};
 
@@ -75,7 +79,10 @@ INSTANTIATE_TEST_SUITE_P(Rules, CleanFixture,
                          ::testing::Values("nondet_iteration", "banned_sources",
                                            "rng_discipline", "executor_capture",
                                            "float_reduction", "suppression",
-                                           "metric_name"));
+                                           "metric_name", "signal_safety",
+                                           "determinism_taint",
+                                           "executor_reentrancy",
+                                           "format_pairing"));
 
 TEST(Suppression, LiveAllowIsCountedAgainstTheBudget) {
   const auto result = lint_fixture("good_suppression.cpp");
@@ -102,6 +109,53 @@ TEST(Budget, ParsesRulesCommentsAndBlanks) {
   EXPECT_EQ(budget.at("banned-nondet-sources"), 8u);
   EXPECT_THROW(parse_budget("nondet-iteration\n"), std::runtime_error);
   EXPECT_THROW(parse_budget("nondet-iteration -2\n"), std::runtime_error);
+}
+
+TEST(Budget, RejectsUnknownRules) {
+  // A typo in a budget line must fail loudly, not silently cap nothing.
+  try {
+    (void)parse_budget("nondet-itration 3\n");
+    FAIL() << "unknown rule accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nondet-itration"),
+              std::string::npos);
+  }
+  // stale-suppression is a meta-finding: it cannot be suppressed, so it
+  // cannot be budgeted either.
+  EXPECT_THROW(parse_budget("stale-suppression 1\n"), std::runtime_error);
+}
+
+TEST(Budget, RejectsDuplicatedRules) {
+  try {
+    (void)parse_budget("signal-safety 1\nsignal-safety 2\n");
+    FAIL() << "duplicate rule accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("signal-safety"), std::string::npos);
+  }
+}
+
+TEST(Budget, EveryNewRuleIsBudgetable) {
+  for (const std::string_view rule :
+       {"signal-safety", "determinism-taint", "executor-reentrancy",
+        "format-pairing"}) {
+    EXPECT_EQ(known_rules().count(rule), 1u) << rule;
+  }
+}
+
+// The JSON report is consumed by CI annotation tooling: its shape is part of
+// the contract and must stay byte-stable for a given tree.
+TEST(Json, DiagnosticsReportMatchesGolden) {
+  const auto result = lint_fixture("bad_metric_name.cpp");
+  EXPECT_EQ(to_json(result, {}),
+            slurp(kFixtureDir / "json_diagnostics.expected"));
+}
+
+TEST(Json, SuppressionsAndBudgetErrorsMatchGolden) {
+  const auto result = lint_fixture("good_suppression.cpp");
+  const auto errors = check_budget(result, {{"nondet-iteration", 0}});
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(to_json(result, errors),
+            slurp(kFixtureDir / "json_report.expected"));
 }
 
 // Header declarations are visible to every file; .cpp declarations only to

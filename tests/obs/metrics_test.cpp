@@ -93,7 +93,8 @@ TEST(MetricsRegistry, MergeIsThreadCountIndependent) {
     MetricsRegistry reg;
     net::Executor executor(threads);
     const std::uint64_t bounds[] = {8, 64, 512};
-    executor.parallel_for(1000, [&](const net::Executor::Shard& shard) {
+    executor.parallel_for(1000, [&reg,
+                                 &bounds](const net::Executor::Shard& shard) {
       for (std::size_t i = shard.begin; i < shard.end; ++i) {
         reg.counter("items").add(i % 7);
         reg.gauge("max_index").maximize(static_cast<std::int64_t>(i));

@@ -25,9 +25,10 @@ namespace itm::obs {
 namespace {
 
 std::string temp_journal_path(const char* tag) {
-  const char* dir = std::getenv("TMPDIR");
-  std::string path = dir != nullptr ? dir : "/tmp";
-  path += "/itm_recorder_";
+  // gtest's TempDir() already honours TEST_TMPDIR/TMPDIR, so the test never
+  // reads ambient environment itself (keeps banned-nondet-sources clean).
+  std::string path = ::testing::TempDir();
+  path += "itm_recorder_";
   path += tag;
   path += "_";
   path += std::to_string(::getpid());

@@ -18,9 +18,9 @@ namespace {
 class TempFile {
  public:
   TempFile(const char* tag, const std::string& contents) {
-    const char* dir = std::getenv("TMPDIR");
-    path_ = dir != nullptr ? dir : "/tmp";
-    path_ += "/itm_report_";
+    // TempDir() honours TEST_TMPDIR/TMPDIR without a getenv at this layer.
+    path_ = ::testing::TempDir();
+    path_ += "itm_report_";
     path_ += tag;
     path_ += "_";
     path_ += std::to_string(::getpid());

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
@@ -14,13 +15,18 @@
 
 #include "net/executor.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 
 namespace itm::obs {
 namespace {
 
 void spin_for_at_least(std::chrono::microseconds d) {
-  const auto end = std::chrono::steady_clock::now() + d;
-  while (std::chrono::steady_clock::now() < end) {
+  // Spans measure wall time, so the test needs real elapsed time; Stopwatch
+  // is the sanctioned wall-clock reader (banned-nondet-sources would flag a
+  // bare steady_clock here, and rightly so).
+  const Stopwatch watch;
+  const auto target = static_cast<std::uint64_t>(d.count());
+  while (watch.elapsed_us() < target) {
   }
 }
 
@@ -254,7 +260,7 @@ TEST(ScopedTracer, SpanUsesTracerCurrentAtConstruction) {
   Tracer a;
   Tracer b;
   ScopedTracer scope_a(a);
-  Span span("landed-in-a");
+  Span span("landed_in_a");
   {
     // Installing another tracer after the span opened must not steal it.
     ScopedTracer scope_b(b);

@@ -4,6 +4,7 @@
 
 #include "../test_scenario.h"
 #include "core/workload.h"
+#include "net/ordered.h"
 #include "net/stats.h"
 
 namespace itm::scan {
@@ -134,8 +135,12 @@ TEST_F(CacheProberTest, ProbeLossReducesHitsNotProbes) {
   p2.sweep(routable, kSecondsPerDay / 2);
   EXPECT_EQ(p1.total_probes(), p2.total_probes());
   std::uint64_t hits1 = 0, hits2 = 0;
-  for (const auto& [prefix, stats] : p1.results()) hits1 += stats.hits;
-  for (const auto& [prefix, stats] : p2.results()) hits2 += stats.hits;
+  for (const auto& [prefix, stats] : net::sorted_items(p1.results())) {
+    hits1 += stats.hits;
+  }
+  for (const auto& [prefix, stats] : net::sorted_items(p2.results())) {
+    hits2 += stats.hits;
+  }
   ASSERT_GT(hits1, 100u);
   EXPECT_NEAR(static_cast<double>(hits2), 0.5 * static_cast<double>(hits1),
               0.1 * static_cast<double>(hits1));

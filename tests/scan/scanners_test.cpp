@@ -4,6 +4,7 @@
 
 #include "../test_scenario.h"
 #include "core/workload.h"
+#include "net/ordered.h"
 #include "scan/ecs_mapper.h"
 #include "scan/root_crawler.h"
 #include "scan/tls_scanner.h"
@@ -124,7 +125,7 @@ TEST(EcsMapper, SweepMatchesAuthoritativeAnswers) {
   const auto user24s = s.topo().addresses.user_slash24s();
   const auto sweep = mapper.sweep(*svc, user24s);
   EXPECT_EQ(sweep.size(), user24s.size());
-  for (const auto& [prefix, address] : sweep) {
+  for (const auto& [prefix, address] : net::sorted_items(sweep)) {
     const auto ans =
         s.dns().authoritative().answer(*svc, prefix, CityId(0));
     EXPECT_EQ(address, ans.address);

@@ -1,0 +1,47 @@
+// Pass 2, graph family: rules that need the cross-TU symbol index — call
+// graph reachability (signal-safety, executor-reentrancy), interprocedural
+// name-level dataflow (determinism-taint) and cross-file sequence pairing
+// (format-pairing). File-local token rules stay in lint.cpp.
+//
+// Every function appends raw (unsuppressed) diagnostics to `sink`;
+// lint_sources applies the shared suppression pass afterwards, so an
+// `itm-lint: allow(<rule>)` comment works the same for graph rules as for
+// token rules. `visible` is the per-file effective name table (own
+// declarations plus the include closure), indexed like SymbolIndex::files().
+#pragma once
+
+#include <vector>
+
+#include "index.h"
+
+namespace itm::lint {
+
+// No function reachable from a registered signal/terminate handler
+// (sa_handler/sa_sigaction assignment, set_terminate(f), signal(sig, f))
+// may allocate, lock, throw, or touch stdio; external calls must be on the
+// async-signal-safe allowlist.
+void rule_signal_safety(const SymbolIndex& index,
+                        std::vector<Diagnostic>& sink);
+
+// Wall-clock-derived values (Stopwatch reads, RSS probes, QuantileHistogram
+// reads) must not flow into kDeterministic metric registrations or into
+// ByteWriter snapshot payloads. obs::deterministic_cast(v) is the sanctioned
+// escape hatch; passing Determinism::kWallClock sanctions the registration.
+void rule_determinism_taint(const SymbolIndex& index,
+                            const std::vector<NameTable>& visible,
+                            std::vector<Diagnostic>& sink);
+
+// No call path from inside an Executor::parallel_for / parallel_map /
+// map_shards callback may re-enter one of those entry points: a worker
+// blocking on a child batch deadlocks the pool (net/executor.h contract).
+void rule_executor_reentrancy(const SymbolIndex& index,
+                              std::vector<Diagnostic>& sink);
+
+// The flattened ByteWriter call sequence feeding write_section(...,
+// SectionId::kX, ...) must mirror the ByteReader call sequence of the parse
+// function consuming payload(SectionId::kX) — the `.itms` ABI-drift gate.
+void rule_format_pairing(const SymbolIndex& index,
+                         const std::vector<NameTable>& visible,
+                         std::vector<Diagnostic>& sink);
+
+}  // namespace itm::lint

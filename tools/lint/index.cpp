@@ -1,0 +1,442 @@
+#include "index.h"
+
+#include <algorithm>
+
+namespace itm::lint {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokKind::kIdentifier && t.text == name;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+// Index of the closer matching the opener at `open` ((), {}, []), or
+// toks.size() if unbalanced. EOF-safe.
+std::size_t match_balanced(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(") || is_punct(toks[i], "{") ||
+        is_punct(toks[i], "[")) {
+      ++depth;
+    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "}") ||
+               is_punct(toks[i], "]")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+// Skips balanced template arguments: toks[i] must be `<`; returns the index
+// one past the matching `>` (treating `>>` as two closers), or `i` when the
+// construct does not look like template arguments (bails on `;` or `{`).
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size() || !is_punct(toks[i], "<")) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size() && j < i + 512; ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "<")) {
+      ++depth;
+    } else if (is_punct(t, ">")) {
+      if (--depth == 0) return j + 1;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+      // depth < 0 means the second `>` closed an *enclosing* template
+      // (`vector<unordered_map<K, V>>`): the inner type is nested inside an
+      // ordered container, so the declared name is not itself unordered.
+      if (depth < 0) return i;
+      if (depth == 0) return j + 1;
+    } else if (is_punct(t, ";") || is_punct(t, "{")) {
+      return i;  // not a template argument list after all
+    }
+  }
+  return i;
+}
+
+namespace {
+
+// Identifiers that look like `name(` but can never be a callee or a
+// function definition being introduced.
+const std::set<std::string_view> kNotCallable = {
+    "if",        "for",      "while",        "switch",   "catch",
+    "return",    "sizeof",   "alignof",      "decltype", "static_assert",
+    "new",       "delete",   "throw",        "case",     "operator",
+    "requires",  "noexcept", "alignas",      "co_await", "co_return",
+    "co_yield",  "typeid",   "static_cast",  "const_cast",
+    "dynamic_cast", "reinterpret_cast", "defined",
+};
+
+}  // namespace
+
+bool is_callable_name(std::string_view name) {
+  return kNotCallable.count(name) == 0;
+}
+
+void NameTable::merge(const NameTable& other) {
+  unordered.insert(other.unordered.begin(), other.unordered.end());
+  rng.insert(other.rng.begin(), other.rng.end());
+  floats.insert(other.floats.begin(), other.floats.end());
+  bytewriter.insert(other.bytewriter.begin(), other.bytewriter.end());
+  bytereader.insert(other.bytereader.begin(), other.bytereader.end());
+  quantile.insert(other.quantile.begin(), other.quantile.end());
+  atomics.insert(other.atomics.begin(), other.atomics.end());
+}
+
+namespace {
+
+const std::set<std::string_view> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+// After a type's tokens, skip declarator decorations (const, &, *, &&).
+std::size_t skip_declarator_prefix(const std::vector<Token>& toks,
+                                   std::size_t i) {
+  while (i < toks.size() &&
+         (is_ident(toks[i], "const") || is_punct(toks[i], "&") ||
+          is_punct(toks[i], "*") || is_punct(toks[i], "&&"))) {
+    ++i;
+  }
+  return i;
+}
+
+// From a declaration's initializer, skip to the `,` or `;` that ends this
+// declarator (balanced in parens/braces/brackets). Returns that index.
+std::size_t skip_to_declarator_end(const std::vector<Token>& toks,
+                                   std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
+    else if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
+      if (depth == 0) return i;  // end of an enclosing list — stop
+      --depth;
+    } else if (depth == 0 && (is_punct(t, ",") || is_punct(t, ";"))) {
+      return i;
+    }
+  }
+  return i;
+}
+
+// Records the declared names following a type at position `i` (one past the
+// type tokens), handling `a, b;` chains and `= init` skipping.
+void record_declared_names(const std::vector<Token>& toks, std::size_t i,
+                           std::set<std::string>& into) {
+  while (i < toks.size()) {
+    i = skip_declarator_prefix(toks, i);
+    if (i >= toks.size() || !is_ident(toks[i])) return;
+    into.insert(std::string(toks[i].text));
+    ++i;
+    // Function declarations (`type name(...)`) record the name and stop:
+    // call sites of that name then count as producing this type.
+    if (i < toks.size() && is_punct(toks[i], "(")) return;
+    i = skip_to_declarator_end(toks, i);
+    if (i >= toks.size() || !is_punct(toks[i], ",")) return;
+    ++i;  // continue the declarator chain
+  }
+}
+
+NameTable collect_names(const std::vector<Token>& toks) {
+  NameTable table;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!is_ident(t)) continue;
+    if (kUnorderedTypes.count(t.text) > 0) {
+      const std::size_t after = skip_template_args(toks, i + 1);
+      if (after > i + 1) record_declared_names(toks, after, table.unordered);
+    } else if (t.text == "Rng") {
+      // `Rng name`, `itm::Rng name`; skip `Rng(` ctors and `Rng::` scope.
+      record_declared_names(toks, i + 1, table.rng);
+    } else if (t.text == "double" || t.text == "float") {
+      record_declared_names(toks, i + 1, table.floats);
+    } else if (t.text == "ByteWriter") {
+      record_declared_names(toks, i + 1, table.bytewriter);
+    } else if (t.text == "ByteReader") {
+      record_declared_names(toks, i + 1, table.bytereader);
+    } else if (t.text == "QuantileHistogram") {
+      record_declared_names(toks, i + 1, table.quantile);
+    } else if (t.text == "atomic") {
+      // `std::atomic<T> name` — but not atomics nested inside another
+      // template (vector<atomic<int>>), where skip_template_args bails.
+      const std::size_t after = skip_template_args(toks, i + 1);
+      if (after > i + 1) record_declared_names(toks, after, table.atomics);
+    }
+  }
+  return table;
+}
+
+// --- function definition scanning -----------------------------------------
+
+constexpr std::size_t kNpos = SymbolIndex::npos;
+
+// `j` sits on the `:` that opens a constructor member-init list. Returns the
+// index of the body `{`, or npos when the construct turns out not to be an
+// init list (a ternary, a label). Member brace-inits (`b_{y}`) are braces
+// directly preceded by an identifier or template `>`; the body brace follows
+// `)`, `}` or the `:` chain itself.
+std::size_t skip_ctor_init_list(const std::vector<Token>& toks,
+                                std::size_t j) {
+  ++j;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (is_punct(t, "{")) {
+      const Token& prev = toks[j - 1];
+      if (is_ident(prev) || is_punct(prev, ">")) {
+        const std::size_t close = match_balanced(toks, j);
+        if (close >= toks.size()) return kNpos;
+        j = close + 1;
+      } else {
+        return j;  // the function body
+      }
+    } else if (is_punct(t, "(")) {
+      const std::size_t close = match_balanced(toks, j);
+      if (close >= toks.size()) return kNpos;
+      j = close + 1;
+    } else if (is_punct(t, "<")) {
+      const std::size_t after = skip_template_args(toks, j);
+      j = after > j ? after : j + 1;
+    } else if (is_ident(t) || is_punct(t, "::") || is_punct(t, ",") ||
+               is_punct(t, "...")) {
+      ++j;
+    } else {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// toks[i] is an identifier followed by `(`. Returns the body-`{` index when
+// this is a function definition, npos otherwise. Tolerant of trailing
+// const/noexcept/ref-qualifiers/override/final/trailing-return and ctor
+// init lists; anything else (`;`, `=`, `,`, an operator) disqualifies.
+std::size_t definition_body(const std::vector<Token>& toks, std::size_t i) {
+  const std::size_t close = match_balanced(toks, i + 1);
+  if (close >= toks.size()) return kNpos;
+  std::size_t j = close + 1;
+  const std::size_t limit = std::min(toks.size(), j + 64);
+  while (j < limit) {
+    const Token& t = toks[j];
+    if (is_punct(t, "{")) return j;
+    if (is_punct(t, ":")) return skip_ctor_init_list(toks, j);
+    if (is_ident(t, "noexcept") && j + 1 < toks.size() &&
+        is_punct(toks[j + 1], "(")) {
+      const std::size_t c = match_balanced(toks, j + 1);
+      if (c >= toks.size()) return kNpos;
+      j = c + 1;
+      continue;
+    }
+    if (is_ident(t, "const") || is_ident(t, "noexcept") ||
+        is_ident(t, "override") || is_ident(t, "final") ||
+        is_ident(t, "mutable") || is_ident(t, "try")) {
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "->") || is_punct(t, "::") || is_punct(t, "&") ||
+        is_punct(t, "&&") || is_punct(t, "*")) {
+      ++j;
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      const std::size_t after = skip_template_args(toks, j);
+      if (after == j) return kNpos;
+      j = after;
+      continue;
+    }
+    if (is_ident(t) && kNotCallable.count(t.text) == 0) {
+      ++j;  // trailing-return type name
+      continue;
+    }
+    return kNpos;
+  }
+  return kNpos;
+}
+
+}  // namespace
+
+SymbolIndex SymbolIndex::build(const std::vector<SourceFile>& sources) {
+  SymbolIndex index;
+  index.files_.reserve(sources.size());
+
+  for (const SourceFile& src : sources) {
+    FileTokens ft;
+    ft.path = src.path;
+    ft.raw = tokenize(src.content);
+    ft.code.reserve(ft.raw.size());
+    for (const Token& t : ft.raw) {
+      if (is_code(t)) ft.code.push_back(t);
+    }
+    // Quoted include directives: `#` `include` `"path"`.
+    for (std::size_t i = 0; i + 2 < ft.raw.size(); ++i) {
+      if (is_punct(ft.raw[i], "#") && is_ident(ft.raw[i + 1], "include") &&
+          ft.raw[i + 2].kind == TokKind::kString &&
+          ft.raw[i + 2].text.size() >= 2 && ft.raw[i + 2].text.front() == '"') {
+        ft.includes.emplace_back(
+            ft.raw[i + 2].text.substr(1, ft.raw[i + 2].text.size() - 2));
+      }
+    }
+    index.files_.push_back(std::move(ft));
+  }
+
+  // Include graph: an include path matches a scanned file by exact path or
+  // path-suffix ("net/rng.h" matches "src/net/rng.h"), then closed
+  // transitively so a header pulled in through another header still counts.
+  const std::size_t n = index.files_.size();
+  std::vector<std::vector<std::size_t>> edges(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const std::string& inc : index.files_[f].includes) {
+      for (std::size_t g = 0; g < n; ++g) {
+        if (g == f) continue;
+        const std::string& path = index.files_[g].path;
+        if (path == inc ||
+            (path.size() > inc.size() + 1 && path.ends_with(inc) &&
+             path[path.size() - inc.size() - 1] == '/')) {
+          edges[f].push_back(g);
+        }
+      }
+    }
+  }
+  index.visibility_.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> queue = {f};
+    seen[f] = true;
+    while (!queue.empty()) {
+      const std::size_t cur = queue.back();
+      queue.pop_back();
+      index.visibility_[f].push_back(cur);
+      for (const std::size_t next : edges[cur]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          queue.push_back(next);
+        }
+      }
+    }
+    std::sort(index.visibility_[f].begin(), index.visibility_[f].end());
+  }
+
+  index.names_.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    index.names_[f] = collect_names(index.files_[f].code);
+  }
+
+  // Function definitions + per-function call sites and lambda locals.
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::vector<Token>& code = index.files_[f].code;
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+      if (!is_ident(code[i]) || kNotCallable.count(code[i].text) > 0 ||
+          !is_punct(code[i + 1], "(")) {
+        continue;
+      }
+      // A member-access receiver or `new T(...)` cannot open a definition.
+      if (i > 0 && (is_punct(code[i - 1], ".") || is_punct(code[i - 1], "->") ||
+                    is_ident(code[i - 1], "new") ||
+                    is_ident(code[i - 1], "return"))) {
+        continue;
+      }
+      const std::size_t body = definition_body(code, i);
+      if (body == npos) continue;
+      const std::size_t body_end = match_balanced(code, body);
+      if (body_end >= code.size()) continue;
+
+      FunctionDef def;
+      def.name = std::string(code[i].text);
+      def.file = f;
+      def.line = code[i].line;
+      def.body_begin = body;
+      def.body_end = body_end;
+      // Qualified name: walk back over `ident ::` pairs and a destructor `~`.
+      std::size_t first = i;
+      if (first > 0 && is_punct(code[first - 1], "~")) {
+        def.name = "~" + def.name;
+        --first;
+      }
+      std::string qualified = def.name;
+      while (first >= 2 && is_punct(code[first - 1], "::") &&
+             is_ident(code[first - 2])) {
+        qualified = std::string(code[first - 2].text) + "::" + qualified;
+        first -= 2;
+      }
+      def.qualified = std::move(qualified);
+      index.functions_.push_back(std::move(def));
+    }
+  }
+
+  index.calls_.resize(index.functions_.size());
+  index.lambda_locals_.resize(index.functions_.size());
+  for (std::size_t fn = 0; fn < index.functions_.size(); ++fn) {
+    const FunctionDef& def = index.functions_[fn];
+    const std::vector<Token>& code = index.files_[def.file].code;
+    for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+      if (!is_ident(code[k])) continue;
+      // `auto name = [...]`: a local lambda binding, not an external call.
+      if (is_ident(code[k], "auto")) {
+        std::size_t j = skip_declarator_prefix(code, k + 1);
+        if (j + 2 < def.body_end && is_ident(code[j]) &&
+            is_punct(code[j + 1], "=") && is_punct(code[j + 2], "[")) {
+          index.lambda_locals_[fn].insert(std::string(code[j].text));
+        }
+        continue;
+      }
+      if (kNotCallable.count(code[k].text) > 0) continue;
+      std::size_t open = k + 1;
+      if (open < def.body_end && is_punct(code[open], "<")) {
+        const std::size_t after = skip_template_args(code, open);
+        if (after == open || after >= def.body_end ||
+            !is_punct(code[after], "(")) {
+          continue;
+        }
+        open = after;
+      }
+      if (open >= def.body_end || !is_punct(code[open], "(")) continue;
+      CallSite call;
+      call.name = std::string(code[k].text);
+      call.line = code[k].line;
+      call.token = k;
+      call.global_qualified = k >= 1 && is_punct(code[k - 1], "::") &&
+                              (k < 2 || !is_ident(code[k - 2]));
+      index.calls_[fn].push_back(std::move(call));
+    }
+  }
+
+  for (std::size_t fn = 0; fn < index.functions_.size(); ++fn) {
+    index.by_name_[index.functions_[fn].name].push_back(fn);
+  }
+  return index;
+}
+
+const std::vector<std::size_t>& SymbolIndex::functions_named(
+    std::string_view name) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+std::size_t SymbolIndex::enclosing_function(std::size_t file,
+                                            std::size_t tok) const {
+  std::size_t best = npos;
+  std::size_t best_span = static_cast<std::size_t>(-1);
+  for (std::size_t fn = 0; fn < functions_.size(); ++fn) {
+    const FunctionDef& def = functions_[fn];
+    if (def.file != file || tok <= def.body_begin || tok >= def.body_end) {
+      continue;
+    }
+    const std::size_t span = def.body_end - def.body_begin;
+    if (span < best_span) {
+      best_span = span;
+      best = fn;
+    }
+  }
+  return best;
+}
+
+NameTable SymbolIndex::visible_names(std::size_t file) const {
+  NameTable table = names_[file];
+  for (const std::size_t other : visibility_[file]) {
+    if (other != file) table.merge(names_[other]);
+  }
+  return table;
+}
+
+}  // namespace itm::lint

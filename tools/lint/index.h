@@ -1,0 +1,146 @@
+// Pass 1 of itm-lint: a lightweight cross-translation-unit symbol index.
+//
+// The index is what turned itm-lint from a file-local token scanner into a
+// whole-tree analyzer (DESIGN.md decision #12). It is still deliberately
+// AST-free — everything is name-level over the lexer's token stream — but it
+// now knows three things the token-level rules could not:
+//
+//   * Include closure. `#include "x/y.h"` directives are resolved against
+//     the scan set (suffix match) and closed transitively, so a declaration
+//     in a header is visible exactly to the files that can actually see it,
+//     not to the whole tree. This is what killed the nondet-iteration
+//     false positives from unrelated files reusing a member name.
+//   * Function definitions. Every `name(...) { ... }` body in the tree,
+//     with its qualified name, file, line, and token span. Lambda bodies
+//     are attributed to their enclosing function (they execute on its
+//     behalf), and `auto f = [...]` locals are recorded so a call to a
+//     local lambda is not mistaken for an external library call.
+//   * A name-level call graph. Each call site inside a function body is an
+//     edge to every definition sharing the callee's base name; `::name(...)`
+//     global-qualified calls are classified as external (libc). Reachability
+//     queries over this graph power the signal-safety, determinism-taint
+//     and executor-reentrancy rule families in graph_rules.cpp.
+//
+// Name-level resolution over-approximates (one name, many defs), which is
+// the correct bias for a gate: a rule fires on the union of what the name
+// could mean, and scoping (include closure, receiver types, local decls)
+// trims the union where it provably cannot apply.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace itm::lint {
+
+// Identifiers declared with a type the rules care about. Built per file and
+// widened with the declarations of every header in the file's include
+// closure (headers are the only cross-file visibility channel).
+struct NameTable {
+  std::set<std::string> unordered;   // unordered_{map,set,...} declarations
+  std::set<std::string> rng;         // itm::Rng
+  std::set<std::string> floats;      // float / double
+  std::set<std::string> bytewriter;  // serve::ByteWriter
+  std::set<std::string> bytereader;  // serve::ByteReader
+  std::set<std::string> quantile;    // obs::QuantileHistogram
+  std::set<std::string> atomics;     // std::atomic<...>
+
+  void merge(const NameTable& other);
+};
+
+// One tokenization of one file, shared by every pass so no file is lexed
+// twice.
+struct FileTokens {
+  std::string path;
+  std::vector<Token> raw;   // comments included (suppression scanning)
+  std::vector<Token> code;  // comments/EOF stripped (all rule logic)
+  std::vector<std::string> includes;  // quoted #include paths, as written
+};
+
+struct FunctionDef {
+  std::string name;       // base identifier ("flush_from_signal")
+  std::string qualified;  // as written ("FlightRecorder::flush_from_signal")
+  std::size_t file = 0;   // index into SymbolIndex::files()
+  std::size_t line = 0;   // line of the name token
+  std::size_t body_begin = 0;  // code-token index of the body '{'
+  std::size_t body_end = 0;    // code-token index of the matching '}'
+};
+
+struct CallSite {
+  std::string name;  // callee base identifier
+  std::size_t line = 0;
+  std::size_t token = 0;          // code-token index of the callee ident
+  bool global_qualified = false;  // written `::name(...)` — external by fiat
+};
+
+class SymbolIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static SymbolIndex build(const std::vector<SourceFile>& files);
+
+  [[nodiscard]] const std::vector<FileTokens>& files() const { return files_; }
+  [[nodiscard]] const std::vector<FunctionDef>& functions() const {
+    return functions_;
+  }
+  [[nodiscard]] const std::vector<CallSite>& calls_of(std::size_t fn) const {
+    return calls_[fn];
+  }
+  // Names bound to lambdas inside the function (`auto emit = [...]`): calls
+  // to them are internal — the lambda body is already part of this function.
+  [[nodiscard]] const std::set<std::string>& lambda_locals_of(
+      std::size_t fn) const {
+    return lambda_locals_[fn];
+  }
+
+  // Definitions sharing a base name; empty for external symbols.
+  [[nodiscard]] const std::vector<std::size_t>& functions_named(
+      std::string_view name) const;
+
+  // Innermost function whose body span contains code-token `tok` of `file`;
+  // npos at namespace scope.
+  [[nodiscard]] std::size_t enclosing_function(std::size_t file,
+                                               std::size_t tok) const;
+
+  // File indices visible from `file`: itself plus the transitive closure of
+  // its quoted includes resolved within the scan set.
+  [[nodiscard]] const std::vector<std::size_t>& visible_files(
+      std::size_t file) const {
+    return visibility_[file];
+  }
+
+  // Per-file declarations; the effective table for linting `file` is its own
+  // table merged with the tables of every visible header.
+  [[nodiscard]] const NameTable& names_of(std::size_t file) const {
+    return names_[file];
+  }
+  [[nodiscard]] NameTable visible_names(std::size_t file) const;
+
+ private:
+  std::vector<FileTokens> files_;
+  std::vector<FunctionDef> functions_;
+  std::vector<std::vector<CallSite>> calls_;        // per function
+  std::vector<std::set<std::string>> lambda_locals_;  // per function
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_name_;
+  std::vector<std::vector<std::size_t>> visibility_;  // per file, sorted
+  std::vector<NameTable> names_;                      // per file
+};
+
+// Shared token helpers (defined in index.cpp, used by every rule pass).
+// is_callable_name: false for control keywords, casts and `operator` — the
+// identifiers that look like `name(` but can never be a callee.
+[[nodiscard]] bool is_callable_name(std::string_view name);
+[[nodiscard]] bool is_punct(const Token& t, std::string_view p);
+[[nodiscard]] bool is_ident(const Token& t, std::string_view name);
+[[nodiscard]] bool is_ident(const Token& t);
+[[nodiscard]] std::size_t match_balanced(const std::vector<Token>& toks,
+                                         std::size_t open);
+[[nodiscard]] std::size_t skip_template_args(const std::vector<Token>& toks,
+                                             std::size_t i);
+
+}  // namespace itm::lint

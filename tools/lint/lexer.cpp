@@ -23,6 +23,38 @@ constexpr std::string_view kPuncts[] = {
     "&=",  "|=",  "^=",  ".*",  "##",
 };
 
+// Length of an encoding prefix (u8, u, U, L, optionally followed by R for a
+// raw string) glued to a quote at `rest[len]`; 0 when `rest` does not start
+// a prefixed literal. The bare-R raw string reports length 1.
+std::size_t literal_prefix_len(std::string_view rest) {
+  std::size_t len = 0;
+  if (rest.starts_with("u8")) {
+    len = 2;
+  } else if (!rest.empty() &&
+             (rest[0] == 'u' || rest[0] == 'U' || rest[0] == 'L')) {
+    len = 1;
+  }
+  if (len < rest.size() && rest[len] == 'R') ++len;
+  if (len >= rest.size() || (rest[len] != '"' && rest[len] != '\'')) {
+    // Not a literal prefix unless it ends exactly at a quote — but a lone R
+    // before `"` is the classic raw-string form.
+    return !rest.empty() && rest[0] == 'R' && rest.size() > 1 &&
+                   rest[1] == '"'
+               ? 1
+               : 0;
+  }
+  return len;
+}
+
+// Consumes a user-defined literal suffix ("x"_kb, 10'000_rows handled by the
+// pp-number path) directly attached to a just-lexed literal: the suffix is
+// part of the literal token, never a phantom identifier a rule could match.
+void consume_udl_suffix(std::string_view src, std::size_t& i) {
+  if (i < src.size() && ident_start(src[i])) {
+    while (i < src.size() && ident_char(src[i])) ++i;
+  }
+}
+
 }  // namespace
 
 std::vector<Token> tokenize(std::string_view src) {
@@ -70,30 +102,44 @@ std::vector<Token> tokenize(std::string_view src) {
       continue;
     }
 
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t d = i + 2;
+    // Encoding prefixes make a literal: u8R"(..)", LR"(..)", u"..", L'x'.
+    // The prefix must glue directly onto the quote, otherwise it is an
+    // ordinary identifier.
+    const std::size_t prefix = literal_prefix_len(src.substr(i));
+
+    // Raw strings: [prefix]R"delim( ... )delim".
+    if (prefix > 0 && src[i + prefix - 1] == 'R' && i + prefix < n &&
+        src[i + prefix] == '"') {
+      std::size_t d = i + prefix + 1;
       while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') ++d;
       if (d < n && src[d] == '(') {
         const std::string close =
-            ")" + std::string(src.substr(i + 2, d - (i + 2))) + "\"";
+            ")" + std::string(src.substr(i + prefix + 1, d - (i + prefix + 1))) +
+            "\"";
         const std::size_t end = src.find(close, d + 1);
         i = end == std::string_view::npos ? n : end + close.size();
+        consume_udl_suffix(src, i);
         push(TokKind::kString, start, i, start_line);
         advance_lines(src.substr(start, i - start));
         continue;
       }
     }
 
-    // String / char literals (escape-aware).
-    if (c == '"' || c == '\'') {
+    // String / char literals (escape-aware), with optional encoding prefix
+    // and user-defined literal suffix ("x"_sv, 'c'_u, u8"y"sv).
+    if (c == '"' || c == '\'' ||
+        (prefix > 0 && i + prefix < n &&
+         (src[i + prefix] == '"' || src[i + prefix] == '\''))) {
+      i += prefix;
+      const char quote = src[i];
       ++i;
-      while (i < n && src[i] != c) {
+      while (i < n && src[i] != quote) {
         if (src[i] == '\\' && i + 1 < n) ++i;
         if (src[i] == '\n') ++line;
         ++i;
       }
       if (i < n) ++i;  // closing quote
+      consume_udl_suffix(src, i);
       push(TokKind::kString, start, i, start_line);
       continue;
     }

@@ -1,11 +1,14 @@
 #include "lint.h"
 
+#include <time.h>
+
 #include <algorithm>
-#include <set>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
-#include <string_view>
 
+#include "graph_rules.h"
+#include "index.h"
 #include "lexer.h"
 
 namespace itm::lint {
@@ -19,15 +22,17 @@ constexpr std::string_view kRuleExecutorCapture = "executor-capture";
 constexpr std::string_view kRuleFloatReduction = "float-reduction-order";
 constexpr std::string_view kRuleStaleSuppression = "stale-suppression";
 constexpr std::string_view kRuleMetricName = "metric-name-format";
+constexpr std::string_view kRuleSignalSafety = "signal-safety";
+constexpr std::string_view kRuleDeterminismTaint = "determinism-taint";
+constexpr std::string_view kRuleExecutorReentrancy = "executor-reentrancy";
+constexpr std::string_view kRuleFormatPairing = "format-pairing";
 
 const std::set<std::string_view> kKnownRules = {
-    kRuleNondetIteration, kRuleBannedSources,  kRuleRngDiscipline,
-    kRuleExecutorCapture, kRuleFloatReduction, kRuleMetricName,
+    kRuleNondetIteration,  kRuleBannedSources,      kRuleRngDiscipline,
+    kRuleExecutorCapture,  kRuleFloatReduction,     kRuleMetricName,
+    kRuleSignalSafety,     kRuleDeterminismTaint,   kRuleExecutorReentrancy,
+    kRuleFormatPairing,
 };
-
-const std::set<std::string_view> kUnorderedTypes = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset"};
 
 // Clock identifiers are banned in deterministic stages; src/obs/ owns wall
 // time by design (DESIGN.md decision #7), so it is allowlisted wholesale.
@@ -82,24 +87,14 @@ const std::set<std::string_view> kMutatingMethods = {
 const std::set<std::string_view> kAssignOps = {
     "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
 
+// Read-modify-write operators that commute, so shard interleaving cannot
+// change the result when the receiver is a std::atomic (the same doctrine
+// obs::Counter is built on: commutative integer ops, relaxed order).
+const std::set<std::string_view> kCommutativeOps = {"++", "--", "+=", "-=",
+                                                    "&=", "|=", "^="};
+
 const std::set<std::string_view> kExecutorEntryPoints = {
     "parallel_for", "parallel_map", "map_shards"};
-
-bool is_header(std::string_view path) {
-  return path.ends_with(".h") || path.ends_with(".hpp");
-}
-
-struct NameTable {
-  std::set<std::string> unordered;  // vars/members/functions of unordered type
-  std::set<std::string> rng;        // vars/members of type Rng
-  std::set<std::string> floats;     // vars/members of type float/double
-
-  void merge(const NameTable& other) {
-    unordered.insert(other.unordered.begin(), other.unordered.end());
-    rng.insert(other.rng.begin(), other.rng.end());
-    floats.insert(other.floats.begin(), other.floats.end());
-  }
-};
 
 struct Suppression {
   std::size_t line = 0;
@@ -107,131 +102,11 @@ struct Suppression {
   bool used = false;
 };
 
-bool is_punct(const Token& t, std::string_view p) {
-  return t.kind == TokKind::kPunct && t.text == p;
-}
-
-bool is_ident(const Token& t, std::string_view name) {
-  return t.kind == TokKind::kIdentifier && t.text == name;
-}
-
-bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
-
-// Code tokens only (comments stripped); all rule logic runs on this view.
-std::vector<Token> code_tokens(const std::vector<Token>& raw) {
-  std::vector<Token> out;
-  out.reserve(raw.size());
-  for (const Token& t : raw) {
-    if (is_code(t)) out.push_back(t);
-  }
-  return out;
-}
-
-// Index of the closer matching the opener at `open` ((), {}, []), or
-// toks.size() if unbalanced. EOF-safe.
-std::size_t match_balanced(const std::vector<Token>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], "(") || is_punct(toks[i], "{") ||
-        is_punct(toks[i], "[")) {
-      ++depth;
-    } else if (is_punct(toks[i], ")") || is_punct(toks[i], "}") ||
-               is_punct(toks[i], "]")) {
-      if (--depth == 0) return i;
-    }
-  }
-  return toks.size();
-}
-
-// Skips balanced template arguments: toks[i] must be `<`; returns the index
-// one past the matching `>` (treating `>>` as two closers), or `i` when the
-// construct does not look like template arguments (bails on `;` or `{`).
-std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i) {
-  if (i >= toks.size() || !is_punct(toks[i], "<")) return i;
-  int depth = 0;
-  for (std::size_t j = i; j < toks.size() && j < i + 512; ++j) {
-    const Token& t = toks[j];
-    if (is_punct(t, "<")) {
-      ++depth;
-    } else if (is_punct(t, ">")) {
-      if (--depth == 0) return j + 1;
-    } else if (is_punct(t, ">>")) {
-      depth -= 2;
-      // depth < 0 means the second `>` closed an *enclosing* template
-      // (`vector<unordered_map<K, V>>`): the inner type is nested inside an
-      // ordered container, so the declared name is not itself unordered.
-      if (depth < 0) return i;
-      if (depth == 0) return j + 1;
-    } else if (is_punct(t, ";") || is_punct(t, "{")) {
-      return i;  // not a template argument list after all
-    }
-  }
-  return i;
-}
-
-// After a type's tokens, skip declarator decorations (const, &, *, &&).
-std::size_t skip_declarator_prefix(const std::vector<Token>& toks,
-                                   std::size_t i) {
-  while (i < toks.size() &&
-         (is_ident(toks[i], "const") || is_punct(toks[i], "&") ||
-          is_punct(toks[i], "*") || is_punct(toks[i], "&&"))) {
-    ++i;
-  }
-  return i;
-}
-
-// From a declaration's initializer, skip to the `,` or `;` that ends this
-// declarator (balanced in parens/braces/brackets). Returns that index.
-std::size_t skip_to_declarator_end(const std::vector<Token>& toks,
-                                   std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
-    else if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
-      if (depth == 0) return i;  // end of an enclosing list — stop
-      --depth;
-    } else if (depth == 0 && (is_punct(t, ",") || is_punct(t, ";"))) {
-      return i;
-    }
-  }
-  return i;
-}
-
-// Records the declared names following a type at position `i` (one past the
-// type tokens), handling `a, b;` chains and `= init` skipping.
-void record_declared_names(const std::vector<Token>& toks, std::size_t i,
-                           std::set<std::string>& into) {
-  while (i < toks.size()) {
-    i = skip_declarator_prefix(toks, i);
-    if (i >= toks.size() || !is_ident(toks[i])) return;
-    into.insert(std::string(toks[i].text));
-    ++i;
-    // Function declarations (`type name(...)`) record the name and stop:
-    // call sites of that name then count as producing this type.
-    if (i < toks.size() && is_punct(toks[i], "(")) return;
-    i = skip_to_declarator_end(toks, i);
-    if (i >= toks.size() || !is_punct(toks[i], ",")) return;
-    ++i;  // continue the declarator chain
-  }
-}
-
-NameTable collect_names(const std::vector<Token>& toks) {
-  NameTable table;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (!is_ident(t)) continue;
-    if (kUnorderedTypes.count(t.text) > 0) {
-      const std::size_t after = skip_template_args(toks, i + 1);
-      if (after > i + 1) record_declared_names(toks, after, table.unordered);
-    } else if (t.text == "Rng") {
-      // `Rng name`, `itm::Rng name`; skip `Rng(` ctors and `Rng::` scope.
-      record_declared_names(toks, i + 1, table.rng);
-    } else if (t.text == "double" || t.text == "float") {
-      record_declared_names(toks, i + 1, table.floats);
-    }
-  }
-  return table;
+double monotonic_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 // ---------------------------------------------------------------------------
@@ -318,6 +193,16 @@ bool parse_lambda(const std::vector<Token>& toks, std::size_t i,
   return out.body_end < toks.size();
 }
 
+// Declarator decorations between a type and its name (const, &, *, &&).
+std::size_t skip_decl_prefix(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size() &&
+         (is_ident(toks[i], "const") || is_punct(toks[i], "&") ||
+          is_punct(toks[i], "*") || is_punct(toks[i], "&&"))) {
+    ++i;
+  }
+  return i;
+}
+
 // Names declared with the given type keyword inside [begin, end) — used to
 // exempt shard-local variables from the capture rules.
 std::set<std::string> local_decls_of(const std::vector<Token>& toks,
@@ -326,7 +211,7 @@ std::set<std::string> local_decls_of(const std::vector<Token>& toks,
   std::set<std::string> out;
   for (std::size_t i = begin; i + 1 < end; ++i) {
     if (is_ident(toks[i]) && types.count(toks[i].text) > 0) {
-      std::size_t j = skip_declarator_prefix(toks, i + 1);
+      std::size_t j = skip_decl_prefix(toks, i + 1);
       if (j < end && is_ident(toks[j])) out.insert(std::string(toks[j].text));
     }
   }
@@ -335,111 +220,25 @@ std::set<std::string> local_decls_of(const std::vector<Token>& toks,
 
 // ---------------------------------------------------------------------------
 
+// Token-level rules for one file, reading names through the file's visible
+// table (its own declarations plus its include closure). Diagnostics go
+// straight to the shared raw sink; suppressions are applied globally after
+// every rule family has run.
 class FileLinter {
  public:
-  FileLinter(const SourceFile& file, const NameTable& table,
-             std::vector<Diagnostic>& sink)
-      : file_(file),
-        tokens_(tokenize(file.content)),
-        code_(code_tokens(tokens_)),
+  FileLinter(const SymbolIndex& index, std::size_t file,
+             const NameTable& table, std::vector<Diagnostic>& sink)
+      : index_(index),
+        file_(file),
+        path_(index.files()[file].path),
+        code_(index.files()[file].code),
         table_(table),
         sink_(sink) {}
-
-  std::vector<Suppression> run() {
-    collect_suppressions();
-    rule_banned_sources();
-    rule_nondet_iteration();
-    rule_executor_lambdas();
-    rule_metric_names();
-    flush();
-    return std::move(suppressions_);
-  }
-
- private:
-  void report(std::size_t line, std::string_view rule, std::string message) {
-    pending_.push_back(
-        Diagnostic{file_.path, line, std::string(rule), std::move(message)});
-  }
-
-  void collect_suppressions() {
-    for (const Token& t : tokens_) {
-      if (t.kind != TokKind::kComment) continue;
-      std::string_view text = t.text;
-      std::size_t pos = text.find("itm-lint:");
-      while (pos != std::string_view::npos) {
-        const std::size_t open = text.find("allow(", pos);
-        if (open == std::string_view::npos) break;
-        const std::size_t close = text.find(')', open);
-        if (close == std::string_view::npos) break;
-        std::string_view inner =
-            text.substr(open + 6, close - (open + 6));
-        // Comma-separated rule list.
-        while (!inner.empty()) {
-          const std::size_t comma = inner.find(',');
-          std::string_view rule = inner.substr(0, comma);
-          while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
-          while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
-          // Placeholder text in prose (`allow(<rule>)`, `allow(...)`) is
-          // not a suppression attempt; only identifier-shaped rules count.
-          const bool rule_shaped =
-              !rule.empty() &&
-              std::all_of(rule.begin(), rule.end(), [](char c) {
-                return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
-                       c == '-' || c == '_';
-              });
-          if (rule_shaped) {
-            if (kKnownRules.count(rule) == 0) {
-              report(t.line, kRuleStaleSuppression,
-                     "unknown rule '" + std::string(rule) +
-                         "' in itm-lint: allow(...)");
-            } else {
-              suppressions_.push_back(
-                  Suppression{t.line, std::string(rule), false});
-            }
-          }
-          if (comma == std::string_view::npos) break;
-          inner.remove_prefix(comma + 1);
-        }
-        pos = text.find("itm-lint:", close);
-      }
-    }
-  }
-
-  // Applies suppressions, emits survivors (and stale-suppression findings)
-  // in line order.
-  void flush() {
-    for (Diagnostic& d : pending_) {
-      bool suppressed = false;
-      if (d.rule != kRuleStaleSuppression) {
-        for (Suppression& s : suppressions_) {
-          if (s.rule == d.rule &&
-              (d.line == s.line || d.line == s.line + 1)) {
-            s.used = true;
-            suppressed = true;
-          }
-        }
-      }
-      if (!suppressed) sink_.push_back(std::move(d));
-    }
-    for (const Suppression& s : suppressions_) {
-      if (!s.used) {
-        sink_.push_back(Diagnostic{
-            file_.path, s.line, std::string(kRuleStaleSuppression),
-            "itm-lint: allow(" + s.rule +
-                ") suppresses nothing on this or the next line; remove it"});
-      }
-    }
-    std::stable_sort(sink_.begin(), sink_.end(),
-                     [](const Diagnostic& a, const Diagnostic& b) {
-                       if (a.path != b.path) return a.path < b.path;
-                       return a.line < b.line;
-                     });
-  }
 
   // --- banned-nondet-sources -----------------------------------------------
   void rule_banned_sources() {
     const bool obs_wallclock_allowed =
-        file_.path.find("src/obs/") != std::string::npos;
+        path_.find("src/obs/") != std::string::npos;
     for (std::size_t i = 0; i < code_.size(); ++i) {
       const Token& t = code_[i];
       if (!is_ident(t)) continue;
@@ -501,6 +300,7 @@ class FileLinter {
       // An identifier of unordered type anywhere in the range expression —
       // unless it is wrapped in one of net/ordered.h's sorted snapshots.
       std::string culprit;
+      std::size_t culprit_tok = 0;
       bool ordered_wrapper = false;
       for (std::size_t j = colon + 1; j < close; ++j) {
         if (!is_ident(code_[j])) continue;
@@ -512,10 +312,12 @@ class FileLinter {
         if (culprit.empty() &&
             table_.unordered.count(std::string(code_[j].text)) > 0) {
           culprit = std::string(code_[j].text);
+          culprit_tok = j;
         }
       }
       if (ordered_wrapper) continue;
       if (culprit.empty()) continue;
+      if (local_ordered_decl(culprit, culprit_tok)) continue;
       if (sorted_after_loop(i, close)) continue;
       report(code_[i].line, kRuleNondetIteration,
              "range-for over unordered container '" + culprit +
@@ -523,6 +325,35 @@ class FileLinter {
                  "sorted copy (or sort what this loop builds) before it can "
                  "feed outputs or merges");
     }
+  }
+
+  // The unordered name may be shadowed by a local `auto` declaration whose
+  // initializer involves nothing unordered (`const auto* series =
+  // activity.series_of(asn);`): the local provably holds an ordered value,
+  // so the member name from an included header does not apply here.
+  bool local_ordered_decl(const std::string& name, std::size_t use_tok) {
+    const std::size_t fn = index_.enclosing_function(file_, use_tok);
+    if (fn == SymbolIndex::npos) return false;
+    const FunctionDef& def = index_.functions()[fn];
+    for (std::size_t k = def.body_begin + 1; k < use_tok; ++k) {
+      if (!is_ident(code_[k], "auto")) continue;
+      std::size_t j = skip_decl_prefix(code_, k + 1);
+      if (j >= use_tok || !is_ident(code_[j], name) ||
+          !is_punct(code_[j + 1], "=")) {
+        continue;
+      }
+      bool unordered_init = false;
+      for (std::size_t m = j + 2; m < use_tok && !is_punct(code_[m], ";");
+           ++m) {
+        if (is_ident(code_[m]) &&
+            table_.unordered.count(std::string(code_[m].text)) > 0) {
+          unordered_init = true;
+          break;
+        }
+      }
+      if (!unordered_init) return true;
+    }
+    return false;
   }
 
   // True when everything the loop body push_backs into is std::sort-ed
@@ -648,8 +479,18 @@ class FileLinter {
     }
   }
 
+ private:
+  void report(std::size_t line, std::string_view rule, std::string message) {
+    sink_.push_back(
+        Diagnostic{path_, line, std::string(rule), std::move(message)});
+  }
+
   bool captured_by_ref(const LambdaInfo& l, const std::string& name) const {
     return l.ref_captures.count(name) > 0 || l.default_ref_capture;
+  }
+
+  bool is_atomic(const std::string& name) const {
+    return table_.atomics.count(name) > 0;
   }
 
   void check_executor_lambda(const LambdaInfo& lambda) {
@@ -721,6 +562,11 @@ class FileLinter {
                    "' inside an executor lambda: float addition is not "
                    "associative, so the sum depends on scheduling; keep a "
                    "per-shard accumulator and merge in shard order");
+      } else if (direct && is_atomic(name) &&
+                 kCommutativeOps.count(op_tok.text) > 0) {
+        // Commutative read-modify-write on a std::atomic: racy-by-design
+        // but order-independent, the same contract obs::Counter relies on.
+        continue;
       } else if (kAssignOps.count(op_tok.text) > 0 ||
                  is_punct(op_tok, "++") || is_punct(op_tok, "--")) {
         report(code_[i].line, kRuleExecutorCapture,
@@ -738,8 +584,10 @@ class FileLinter {
           captured_by_ref(lambda, std::string(code_[i + 1].text)) &&
           !(i > 0 && (is_punct(code_[i - 1], ".") ||
                       is_punct(code_[i - 1], "->")))) {
-        // `++x` where x is captured by ref and not followed by `[`.
+        // `++x` where x is captured by ref and not followed by `[`;
+        // atomics commute under ++/--, so they are exempt by design.
         if (i + 2 < lambda.body_end && is_punct(code_[i + 2], "[")) continue;
+        if (is_atomic(std::string(code_[i + 1].text))) continue;
         report(code_[i].line, kRuleExecutorCapture,
                "'" + std::string(code_[i].text) +
                    std::string(code_[i + 1].text) +
@@ -750,42 +598,220 @@ class FileLinter {
     }
   }
 
-  const SourceFile& file_;
-  std::vector<Token> tokens_;
-  std::vector<Token> code_;
+  const SymbolIndex& index_;
+  std::size_t file_;
+  const std::string& path_;
+  const std::vector<Token>& code_;
   const NameTable& table_;
   std::vector<Diagnostic>& sink_;
-  std::vector<Diagnostic> pending_;
-  std::vector<Suppression> suppressions_;
 };
+
+// Scans one file's raw tokens (comments included) for `itm-lint: allow(...)`
+// comments. Unknown rule names are reported immediately; valid ones are
+// returned for the global flush.
+std::vector<Suppression> collect_suppressions(const FileTokens& file,
+                                              std::vector<Diagnostic>& sink) {
+  std::vector<Suppression> out;
+  for (const Token& t : file.raw) {
+    if (t.kind != TokKind::kComment) continue;
+    std::string_view text = t.text;
+    std::size_t pos = text.find("itm-lint:");
+    while (pos != std::string_view::npos) {
+      const std::size_t open = text.find("allow(", pos);
+      if (open == std::string_view::npos) break;
+      const std::size_t close = text.find(')', open);
+      if (close == std::string_view::npos) break;
+      std::string_view inner = text.substr(open + 6, close - (open + 6));
+      // Comma-separated rule list.
+      while (!inner.empty()) {
+        const std::size_t comma = inner.find(',');
+        std::string_view rule = inner.substr(0, comma);
+        while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+        while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+        // Placeholder text in prose (`allow(<rule>)`, `allow(...)`) is
+        // not a suppression attempt; only identifier-shaped rules count.
+        const bool rule_shaped =
+            !rule.empty() && std::all_of(rule.begin(), rule.end(), [](char c) {
+              return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                     c == '-' || c == '_';
+            });
+        if (rule_shaped) {
+          if (kKnownRules.count(rule) == 0) {
+            sink.push_back(Diagnostic{
+                file.path, t.line, std::string(kRuleStaleSuppression),
+                "unknown rule '" + std::string(rule) +
+                    "' in itm-lint: allow(...)"});
+          } else {
+            out.push_back(Suppression{t.line, std::string(rule), false});
+          }
+        }
+        if (comma == std::string_view::npos) break;
+        inner.remove_prefix(comma + 1);
+      }
+      pos = text.find("itm-lint:", close);
+    }
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
-LintResult lint_sources(const std::vector<SourceFile>& files) {
-  // Pass 1: the cross-file name table. Header declarations are global
-  // (headers are included everywhere); .cpp declarations stay file-local.
-  NameTable global;
-  std::vector<NameTable> per_file(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    per_file[i] = collect_names(code_tokens(tokenize(files[i].content)));
-    if (is_header(files[i].path)) global.merge(per_file[i]);
-  }
+const std::set<std::string_view>& known_rules() { return kKnownRules; }
 
+LintResult lint_sources(const std::vector<SourceFile>& files) {
   LintResult result;
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    NameTable table = per_file[i];
-    table.merge(global);
-    FileLinter linter(files[i], table, result.diagnostics);
-    for (const Suppression& s : linter.run()) {
-      if (s.used) ++result.suppressions_used[s.rule];
+  result.files_scanned = files.size();
+  std::vector<Diagnostic> raw;
+
+  const auto timed = [&](std::string_view pass, const auto& body) {
+    const double t0 = monotonic_seconds();
+    body();
+    result.rule_seconds.emplace_back(std::string(pass),
+                                     monotonic_seconds() - t0);
+  };
+
+  // Pass 1: the symbol index and per-file effective name tables.
+  SymbolIndex index;
+  std::vector<NameTable> visible;
+  timed("index", [&] {
+    index = SymbolIndex::build(files);
+    visible.resize(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      visible[i] = index.visible_names(i);
     }
-  }
+  });
+
+  // Pass 2a: file-local token rules.
+  const auto per_file = [&](std::string_view pass, const auto& rule) {
+    timed(pass, [&] {
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        FileLinter linter(index, i, visible[i], raw);
+        rule(linter);
+      }
+    });
+  };
+  per_file(kRuleBannedSources,
+           [](FileLinter& l) { l.rule_banned_sources(); });
+  per_file(kRuleNondetIteration,
+           [](FileLinter& l) { l.rule_nondet_iteration(); });
+  per_file("executor-captures",
+           [](FileLinter& l) { l.rule_executor_lambdas(); });
+  per_file(kRuleMetricName, [](FileLinter& l) { l.rule_metric_names(); });
+
+  // Pass 2b: cross-TU graph rules.
+  timed(kRuleSignalSafety, [&] { rule_signal_safety(index, raw); });
+  timed(kRuleDeterminismTaint,
+        [&] { rule_determinism_taint(index, visible, raw); });
+  timed(kRuleExecutorReentrancy,
+        [&] { rule_executor_reentrancy(index, raw); });
+  timed(kRuleFormatPairing,
+        [&] { rule_format_pairing(index, visible, raw); });
+
+  // Global suppression flush, keyed by path so cross-TU diagnostics are
+  // suppressible exactly like token-rule ones.
+  timed("suppressions", [&] {
+    std::map<std::string, std::vector<Suppression>> by_path;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      by_path[index.files()[i].path] =
+          collect_suppressions(index.files()[i], raw);
+    }
+    for (Diagnostic& d : raw) {
+      bool suppressed = false;
+      if (d.rule != kRuleStaleSuppression) {
+        const auto it = by_path.find(d.path);
+        if (it != by_path.end()) {
+          for (Suppression& s : it->second) {
+            if (s.rule == d.rule &&
+                (d.line == s.line || d.line == s.line + 1)) {
+              s.used = true;
+              suppressed = true;
+            }
+          }
+        }
+      }
+      if (!suppressed) result.diagnostics.push_back(std::move(d));
+    }
+    for (const auto& [path, suppressions] : by_path) {
+      for (const Suppression& s : suppressions) {
+        if (s.used) {
+          ++result.suppressions_used[s.rule];
+        } else {
+          result.diagnostics.push_back(Diagnostic{
+              path, s.line, std::string(kRuleStaleSuppression),
+              "itm-lint: allow(" + s.rule +
+                  ") suppresses nothing on this or the next line; remove "
+                  "it"});
+        }
+      }
+    }
+    std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.path != b.path) return a.path < b.path;
+                       return a.line < b.line;
+                     });
+  });
   return result;
 }
 
 std::string format_diagnostic(const Diagnostic& d) {
   std::ostringstream os;
   os << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::string to_json(const LintResult& result,
+                    const std::vector<std::string>& budget_errors) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"itm-lint\",\n";
+  os << "  \"schema\": \"itm-lint-json/1\",\n";
+  os << "  \"files_scanned\": " << result.files_scanned << ",\n";
+  os << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"path\": \"" << json_escape(d.path)
+       << "\", \"line\": " << d.line << ", \"rule\": \"" << json_escape(d.rule)
+       << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  os << (result.diagnostics.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"suppressions_used\": {";
+  std::size_t n = 0;
+  for (const auto& [rule, used] : result.suppressions_used) {
+    os << (n++ == 0 ? "\n" : ",\n");
+    os << "    \"" << json_escape(rule) << "\": " << used;
+  }
+  os << (n == 0 ? "},\n" : "\n  },\n");
+  os << "  \"budget_errors\": [";
+  for (std::size_t i = 0; i < budget_errors.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    \"" << json_escape(budget_errors[i]) << "\"";
+  }
+  os << (budget_errors.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
   return os.str();
 }
 
@@ -806,6 +832,14 @@ std::map<std::string, std::size_t> parse_budget(const std::string& text) {
       throw std::runtime_error("budget line " + std::to_string(lineno) +
                                ": expected '<rule> <count>', got '" + line +
                                "'");
+    }
+    if (kKnownRules.count(rule) == 0) {
+      throw std::runtime_error("budget line " + std::to_string(lineno) +
+                               ": unknown rule '" + rule + "'");
+    }
+    if (budget.count(rule) > 0) {
+      throw std::runtime_error("budget line " + std::to_string(lineno) +
+                               ": duplicate rule '" + rule + "'");
     }
     budget[rule] = static_cast<std::size_t>(cap);
   }

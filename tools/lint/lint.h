@@ -1,15 +1,16 @@
 // itm-lint: static enforcement of the repo's determinism & concurrency
-// invariants (DESIGN.md decisions #6/#7/#8).
+// invariants (DESIGN.md decisions #6/#7/#8/#12).
 //
-// The linter runs in two passes over the whole scan set. Pass 1 builds a
-// name table: identifiers declared anywhere with an unordered container
-// type, an Rng type, or a float type. Names declared in headers apply
-// globally (headers are included everywhere); names declared in a .cpp
-// apply to that file only. Pass 2 walks each file's token stream and
-// reports rule violations. This name-level approximation is deliberately
-// conservative and AST-free: a name declared unordered anywhere is treated
-// as unordered everywhere it is visible, which is the right bias for a
-// determinism gate.
+// The linter runs in two passes over the whole scan set. Pass 1 builds the
+// cross-translation-unit symbol index (tools/lint/index.h): per-file name
+// tables scoped by include closure, every function definition, and a
+// name-level call graph. Pass 2 runs two rule families on top of it:
+// file-local token rules (this file's .cpp) and graph rules that need
+// reachability or cross-file pairing (graph_rules.h). The name-level
+// approximation is deliberately conservative and AST-free: a name means the
+// union of everything it could resolve to, and scoping (include closure,
+// receiver types, local declarations) trims the union where it provably
+// cannot apply.
 //
 // Rules (ids are stable; fixtures and suppressions reference them):
 //   nondet-iteration      range-for over an unordered_{map,set} without an
@@ -21,22 +22,39 @@
 //                         inside an Executor::parallel_* lambda (split() is
 //                         the sanctioned derivation and stays legal)
 //   executor-capture      default [&] captures, or mutation of a by-ref
-//                         captured object that is not a per-index slot,
-//                         inside an Executor::parallel_* lambda
+//                         captured object that is not a per-index slot or a
+//                         commutative atomic op, inside a parallel_* lambda
 //   float-reduction-order float/double += accumulation into by-ref captured
 //                         state inside an Executor::parallel_* lambda
+//   metric-name-format    metric/span names must match [a-z0-9_.]+
+//   signal-safety         nothing reachable from a registered signal or
+//                         terminate handler may allocate, lock, throw, or
+//                         touch stdio (call-graph reachability)
+//   determinism-taint     wall-clock values (Stopwatch, RSS, quantile reads)
+//                         must not flow into kDeterministic metrics or
+//                         snapshot payloads; obs::deterministic_cast is the
+//                         sanctioned escape hatch
+//   executor-reentrancy   no call path from inside an Executor callback back
+//                         into parallel_for/parallel_map/map_shards
+//   format-pairing        ByteWriter section sequences in the snapshot
+//                         writer must mirror the ByteReader sequences in the
+//                         reader (.itms ABI-drift detector)
 //   stale-suppression     an `itm-lint: allow(...)` comment that suppressed
 //                         nothing (kept as an error so suppressions cannot
 //                         outlive the code they excused)
 //
 // Suppression: `// itm-lint: allow(<rule>)` on the violating line or the
-// line directly above. Every live suppression is counted against
-// tools/lint/suppressions.budget so the total cannot silently grow.
+// line directly above — graph-rule diagnostics are suppressible at the line
+// they report, same as token rules. Every live suppression is counted
+// against tools/lint/suppressions.budget so the total cannot silently grow.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace itm::lint {
@@ -58,17 +76,33 @@ struct LintResult {
   // Live `allow` comments per rule (each counted once even if it masked
   // several diagnostics) — compared against the suppression budget.
   std::map<std::string, std::size_t> suppressions_used;
+  std::size_t files_scanned = 0;
+  // Wall time per pass ("index", one entry per rule family, "suppressions"),
+  // in execution order. Measured with CLOCK_MONOTONIC; excluded from the
+  // JSON output so golden tests stay byte-stable.
+  std::vector<std::pair<std::string, double>> rule_seconds;
 };
 
-// Lints every file against the shared cross-file name table.
+// Rule ids a suppression or budget line may reference (stale-suppression is
+// excluded: meta-findings cannot be suppressed).
+[[nodiscard]] const std::set<std::string_view>& known_rules();
+
+// Lints every file: builds the symbol index, runs token and graph rules,
+// then applies suppressions globally.
 [[nodiscard]] LintResult lint_sources(const std::vector<SourceFile>& files);
 
 // "path:line: [rule] message" — the format golden fixtures match against.
 [[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
 
+// Machine-readable SARIF-lite report for CI annotation (schema
+// "itm-lint-json/1"): diagnostics, suppression counts, budget errors.
+// Deterministic for a given tree — timings are deliberately omitted.
+[[nodiscard]] std::string to_json(const LintResult& result,
+                                  const std::vector<std::string>& budget_errors);
+
 // Budget file format: `<rule> <max-live-suppressions>` per line, `#`
 // comments allowed. Returns rule -> cap. Throws std::runtime_error on a
-// malformed line.
+// malformed line, an unknown rule, or a duplicated rule.
 [[nodiscard]] std::map<std::string, std::size_t> parse_budget(
     const std::string& text);
 

@@ -1,6 +1,7 @@
 // itm-lint CLI.
 //
-//   itm-lint [--budget FILE] [--stats] PATH...
+//   itm-lint [--budget FILE] [--stats] [--format=json] [--exclude PREFIX]
+//            PATH...
 //
 // PATHs are files or directories (recursed for .h/.hpp/.cpp/.cc). Exit
 // codes are distinct so CI can tell failure modes apart:
@@ -9,6 +10,7 @@
 //   2  usage or I/O error
 //   3  suppression budget exceeded (violations may also have printed)
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -36,9 +38,15 @@ std::string read_file(const fs::path& p) {
 }
 
 int usage(std::ostream& os) {
-  os << "usage: itm-lint [--budget FILE] [--stats] PATH...\n"
-        "  --budget FILE  enforce tools/lint/suppressions.budget caps\n"
-        "  --stats        print live-suppression counts per rule\n";
+  os << "usage: itm-lint [--budget FILE] [--stats] [--format=json]\n"
+        "                [--exclude PREFIX]... PATH...\n"
+        "  --budget FILE    enforce tools/lint/suppressions.budget caps\n"
+        "  --stats          print live-suppression counts and per-rule wall "
+        "time\n"
+        "  --format=json    machine-readable report on stdout (SARIF-lite)\n"
+        "  --exclude PREFIX skip files whose path starts with PREFIX "
+        "(repeatable;\n"
+        "                   keeps lint fixtures out of a tree-wide run)\n";
   return 2;
 }
 
@@ -46,15 +54,22 @@ int usage(std::ostream& os) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::vector<std::string> excludes;
   std::string budget_path;
   bool stats = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--budget") {
       if (++i >= argc) return usage(std::cerr);
       budget_path = argv[i];
+    } else if (arg == "--exclude") {
+      if (++i >= argc) return usage(std::cerr);
+      excludes.emplace_back(argv[i]);
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--format=json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -89,6 +104,14 @@ int main(int argc, char** argv) {
     std::sort(expanded.begin(), expanded.end());
     expanded.erase(std::unique(expanded.begin(), expanded.end()),
                    expanded.end());
+    expanded.erase(std::remove_if(expanded.begin(), expanded.end(),
+                                  [&](const std::string& path) {
+                                    for (const std::string& ex : excludes) {
+                                      if (path.rfind(ex, 0) == 0) return true;
+                                    }
+                                    return false;
+                                  }),
+                   expanded.end());
     files.reserve(expanded.size());
     for (const std::string& p : expanded) {
       files.push_back(itm::lint::SourceFile{p, read_file(p)});
@@ -99,34 +122,45 @@ int main(int argc, char** argv) {
   }
 
   const itm::lint::LintResult result = itm::lint::lint_sources(files);
-  for (const auto& d : result.diagnostics) {
-    std::cout << itm::lint::format_diagnostic(d) << "\n";
-  }
-  if (stats) {
-    std::cout << "— live suppressions by rule —\n";
-    for (const auto& [rule, used] : result.suppressions_used) {
-      std::cout << rule << " " << used << "\n";
-    }
-  }
 
   int exit_code = result.diagnostics.empty() ? 0 : 1;
+  std::vector<std::string> budget_errors;
   if (!budget_path.empty()) {
     try {
       const auto budget = itm::lint::parse_budget(read_file(budget_path));
-      const auto errors = itm::lint::check_budget(result, budget);
-      if (!errors.empty()) {
-        for (const auto& e : errors) {
-          std::cerr << "itm-lint: budget: " << e << "\n";
-        }
-        exit_code = 3;
-      }
+      budget_errors = itm::lint::check_budget(result, budget);
+      if (!budget_errors.empty()) exit_code = 3;
     } catch (const std::exception& e) {
       std::cerr << "itm-lint: " << e.what() << "\n";
       return 2;
     }
   }
-  if (exit_code == 0) {
-    std::cout << "itm-lint: " << files.size() << " files clean\n";
+
+  if (json) {
+    std::cout << itm::lint::to_json(result, budget_errors);
+  } else {
+    for (const auto& d : result.diagnostics) {
+      std::cout << itm::lint::format_diagnostic(d) << "\n";
+    }
+    for (const auto& e : budget_errors) {
+      std::cerr << "itm-lint: budget: " << e << "\n";
+    }
+    if (exit_code == 0) {
+      std::cout << "itm-lint: " << files.size() << " files clean\n";
+    }
+  }
+  if (stats) {
+    std::ostream& os = json ? std::cerr : std::cout;  // keep stdout pure JSON
+    os << "— live suppressions by rule —\n";
+    for (const auto& [rule, used] : result.suppressions_used) {
+      os << rule << " " << used << "\n";
+    }
+    os << "— wall time by pass —\n";
+    for (const auto& [pass, seconds] : result.rule_seconds) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%8.3f ms", seconds * 1e3);
+      os << buf << "  " << pass << "\n";
+    }
   }
   return exit_code;
 }

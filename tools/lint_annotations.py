@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Bridge itm-lint's JSON report to GitHub Actions inline annotations.
+
+Reads an `itm-lint --format=json` report (schema itm-lint-json/1) from the
+path given as argv[1] (or stdin) and emits one `::error` workflow command
+per diagnostic, which the Actions runner renders as an inline annotation on
+the offending file/line. Budget violations become file-less errors.
+
+Exits 1 when the report contains any diagnostic or budget error, so the
+step fails alongside the annotations; exits 0 on a clean report.
+"""
+
+import json
+import sys
+
+
+def _sanitize(text: str) -> str:
+    # GitHub workflow commands terminate on newlines; the data portion must
+    # percent-encode them (and literal percents, which would be decoded).
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def main(argv: list) -> int:
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    else:
+        report = json.load(sys.stdin)
+
+    if report.get("schema") != "itm-lint-json/1":
+        print(f"lint_annotations: unknown schema {report.get('schema')!r}",
+              file=sys.stderr)
+        return 2
+
+    diagnostics = report.get("diagnostics", [])
+    budget_errors = report.get("budget_errors", [])
+
+    for d in diagnostics:
+        print("::error file={file},line={line},title={title}::{message}".format(
+            file=_sanitize(d["path"]),
+            line=d["line"],
+            title=_sanitize(f"itm-lint ({d['rule']})"),
+            message=_sanitize(d["message"])))
+    for e in budget_errors:
+        print("::error title=itm-lint suppression budget::{message}".format(
+            message=_sanitize(e)))
+
+    files = report.get("files_scanned", 0)
+    print(f"lint_annotations: {files} files scanned, "
+          f"{len(diagnostics)} diagnostics, "
+          f"{len(budget_errors)} budget errors", file=sys.stderr)
+    return 1 if diagnostics or budget_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
