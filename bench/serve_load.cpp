@@ -9,16 +9,31 @@
 // per-shard results merge in shard order — so the answer hash and every
 // deterministic counter are identical for any thread count.
 //
+// Three further phases drive the resident-server stack (`itm served`):
+// a *sustained* phase replays a bounded hot working set through an
+// Epoch/EpochManager pin-answer-unpin cycle (the cache-hot steady state a
+// resident server converges to), a *swap* phase re-runs it while a writer
+// applies an `.itmsd` delta mid-flight, and a verification phase proves
+// the delta-built epoch answers byte-identically to an engine over the
+// fresh target snapshot (answer-hash equality).
+//
 // Usage: serve_load [seed] [scale] [queries] [threads]
 //   queries defaults to 1,000,000; threads 0 = hardware concurrency.
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <sstream>
 #include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "net/rng.h"
+#include "serve/delta.h"
 #include "serve/format.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
 #include "serve/snapshot_reader.h"
 #include "serve/snapshot_writer.h"
 
@@ -200,6 +215,159 @@ int main(int argc, char** argv) {
             << " p90=" << core::num(p90, 1) << " p99=" << core::num(p99, 1)
             << " p999=" << core::num(p999, 1)
             << " max=" << quantiles.max() << "\n";
+  // ---- Resident-server phases: the `itm served` serving stack.
+  // Hot working set: enough distinct queries to exercise the answer paths,
+  // few enough that the per-slot LRU caches converge to all-hits — the
+  // steady state of a resident server fed a production query mix.
+  const std::size_t hot_set_size = std::min<std::size_t>(2048, total_queries);
+  std::vector<std::string> hot_set;
+  hot_set.reserve(hot_set_size);
+  for (std::size_t i = 0; i < hot_set_size; ++i) {
+    hot_set.push_back(make_query(snap, base.split(0x40000000ull + i)));
+  }
+
+  serve::EpochManager epochs;
+  {
+    auto epoch0 = serve::Epoch::from_bytes(0, blob, 4096, &error);
+    if (!epoch0) {
+      std::cerr << "[bench] epoch load rejected: " << error << "\n";
+      return 1;
+    }
+    (void)epochs.install(std::move(epoch0));
+  }
+
+  // Answers the hot set `rounds` times through the pinned epoch, one
+  // executor batch per round — exactly Server::answer_batch: one pin per
+  // shard, the shard index as the cache slot. The shard split depends only
+  // on the hot-set size, so every round re-visits the same per-slot slice
+  // and the caches converge to all-hits after the first pass.
+  const auto run_resident =
+      [&](std::size_t rounds) -> std::pair<double, std::uint64_t> {
+    std::uint64_t h = serve::fnv1a64("");
+    bench::WallTimer timer;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const auto hashes = executor.map_shards<std::uint64_t>(
+          hot_set.size(),
+          [&epochs, &hot_set](const net::Executor::Shard& shard) {
+            const serve::EpochPin pin(epochs, shard.index);
+            std::uint64_t shard_hash = serve::fnv1a64("");
+            for (std::size_t i = shard.begin; i < shard.end; ++i) {
+              const std::string answer = pin->answer(shard.index, hot_set[i]);
+              shard_hash ^= serve::fnv1a64(answer);
+              shard_hash *= 0x100000001b3ull;
+            }
+            return shard_hash;
+          });
+      for (const std::uint64_t shard_hash : hashes) {
+        h ^= shard_hash;
+        h *= 0x100000001b3ull;
+      }
+    }
+    return {timer.seconds(), h};
+  };
+
+  // Warm the per-slot caches, then measure the cache-hot steady state.
+  const std::size_t sustained_rounds =
+      std::max<std::size_t>(1, total_queries / hot_set.size());
+  (void)run_resident(1);
+  const auto [sustained_s, sustained_hash] = run_resident(sustained_rounds);
+  const std::size_t sustained_queries = hot_set.size() * sustained_rounds;
+  const double sustained_qps =
+      sustained_s > 0 ? sustained_queries / sustained_s : 0;
+  std::cout << "resident sustained: " << sustained_queries << " queries in "
+            << core::num(sustained_s, 3) << " s ("
+            << core::num(sustained_qps, 0) << " qps cache-hot)\n";
+
+  // ---- Delta apply + hot swap under load.
+  // The target map: the same world after a probing increment — a small,
+  // realistic delta against the live snapshot.
+  const auto target_snapshot = [&] {
+    serve::Snapshot next = snap;
+    next.addresses_probed += 4096;
+    if (!next.ases.empty()) next.ases.front().activity *= 1.25;
+    return next;
+  }();
+  std::ostringstream target_out;
+  serve::write_snapshot(target_snapshot, target_out);
+  const std::string target_blob = target_out.str();
+  const auto delta = serve::diff_snapshots(blob, target_blob, &error);
+  if (!delta) {
+    std::cerr << "[bench] diff failed: " << error << "\n";
+    return 1;
+  }
+  bench::WallTimer apply_timer;
+  const auto applied = serve::apply_delta(blob, *delta, &error);
+  const double delta_apply_us = apply_timer.seconds() * 1e6;
+  if (!applied || *applied != target_blob) {
+    std::cerr << "[bench] delta apply is not byte-identical: " << error
+              << "\n";
+    return 1;
+  }
+  std::cout << "delta: " << delta->size() << " bytes applied in "
+            << core::num(delta_apply_us, 0) << " us (byte-identical to the "
+            << target_blob.size() << "-byte target)\n";
+
+  // Swap while the sustained workload is in flight: a writer thread
+  // installs the delta-built epoch mid-run; readers keep answering with no
+  // locks taken, and the retired epoch is returned only after every reader
+  // slot released it.
+  auto epoch1 = serve::Epoch::from_bytes(1, *applied, 4096, &error);
+  if (!epoch1) {
+    std::cerr << "[bench] applied epoch rejected: " << error << "\n";
+    return 1;
+  }
+  std::unique_ptr<const serve::Epoch> retired;
+  {
+    std::unique_ptr<const serve::Epoch> next = std::move(epoch1);
+    std::thread writer([&epochs, &retired, &next] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      retired = epochs.install(std::move(next));
+    });
+    const auto [swap_s, swap_hash] = run_resident(sustained_rounds);
+    writer.join();
+    (void)swap_hash;  // pre/post answers interleave; verified quiescently below
+    std::cout << "swap under load: " << sustained_queries << " queries in "
+              << core::num(swap_s, 3) << " s with 1 hot swap (retired epoch "
+              << (retired ? retired->id() : 0) << " after "
+              << (retired ? retired->queries() : 0) << " answers)\n";
+  }
+
+  // Quiescent verification: the delta-built epoch must answer the hot set
+  // byte-identically to a fresh engine over the target snapshot bytes.
+  const auto [verify_s, post_hash] = run_resident(1);
+  (void)verify_s;
+  const auto target_view = serve::borrow_snapshot(target_blob, &error);
+  if (!target_view) {
+    std::cerr << "[bench] target view rejected: " << error << "\n";
+    return 1;
+  }
+  const serve::QueryEngine target_engine(*target_view, 0);
+  // Same shard split and merge as run_resident(1), so the two hashes are
+  // comparable exactly.
+  const auto expected_shards = executor.map_shards<std::uint64_t>(
+      hot_set.size(),
+      [&target_engine, &hot_set](const net::Executor::Shard& shard) {
+        std::uint64_t h = serve::fnv1a64("");
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          h ^= serve::fnv1a64(target_engine.answer(hot_set[i]));
+          h *= 0x100000001b3ull;
+        }
+        return h;
+      });
+  std::uint64_t expected_hash = serve::fnv1a64("");
+  for (const std::uint64_t shard_hash : expected_shards) {
+    expected_hash ^= shard_hash;
+    expected_hash *= 0x100000001b3ull;
+  }
+  if (post_hash != expected_hash) {
+    std::cerr << "[bench] post-swap answers diverge from the fresh target "
+                 "snapshot (hash " << post_hash << " != " << expected_hash
+              << ")\n";
+    return 1;
+  }
+  std::cout << "post-swap answer hash matches a fresh engine over the "
+               "target snapshot (" << post_hash << ")\n";
+
   bench::BenchRecord record("serve_load");
   record.str("scale", argc > 2 ? argv[2] : "default")
       .num("seed", scenario->config().seed)
@@ -207,6 +375,10 @@ int main(int argc, char** argv) {
       .num("threads", static_cast<std::uint64_t>(executor.thread_count()))
       .num("answer_hash", hash)
       .num("qps", elapsed > 0 ? total_queries / elapsed : 0.0)
+      .num("sustained_qps", sustained_qps)
+      .num("sustained_hash", sustained_hash)
+      .num("delta_apply_us", std::max(delta_apply_us, 1.0))
+      .num("swaps", epochs.swaps())
       .num("serve_p50_us", std::max(p50, 1.0))
       .num("serve_p99_us", std::max(p99, 1.0));
   std::cout << record.line();

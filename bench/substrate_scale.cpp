@@ -31,6 +31,7 @@
 #include "legacy_layout.h"
 #include "net/prefix_trie.h"
 #include "net/rng.h"
+#include "serve/delta.h"
 #include "serve/format.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_reader.h"
@@ -153,6 +154,33 @@ int main(int argc, char** argv) {
             << " qps, p50 " << core::num(serve_p50_us, 1) << " us, p99 "
             << core::num(serve_p99_us, 1) << " us)\n";
 
+  // ---- 4b. delta apply cost (the `itm served` apply-delta path): a small
+  // probing increment against the live snapshot, applied by the strict
+  // `.itmsd` applier. The rebuild must be byte-identical to the fresh
+  // target — the wall time is the tier's delta_apply_us perf ledger entry.
+  serve::Snapshot delta_target = *snapshot;
+  delta_target.addresses_probed += 4096;
+  if (!delta_target.ases.empty()) delta_target.ases.front().activity *= 1.25;
+  std::ostringstream delta_target_out;
+  serve::write_snapshot(delta_target, delta_target_out);
+  const std::string delta_target_blob = delta_target_out.str();
+  const auto delta = serve::diff_snapshots(blob, delta_target_blob, &error);
+  if (!delta) {
+    std::cerr << "[bench] diff failed: " << error << "\n";
+    return 1;
+  }
+  bench::WallTimer apply_timer;
+  const auto applied = serve::apply_delta(blob, *delta, &error);
+  const double delta_apply_us = apply_timer.seconds() * 1e6;
+  if (!applied || *applied != delta_target_blob) {
+    std::cerr << "[bench] delta apply is not byte-identical: " << error
+              << "\n";
+    return 1;
+  }
+  std::cerr << "[bench] delta apply: " << delta->size() << "-byte delta -> "
+            << delta_target_blob.size() << " bytes in "
+            << core::num(delta_apply_us, 0) << " us (byte-identical)\n";
+
   // ---- 5. the ledger line. Structural fields (counts, per-entry bytes,
   // hashes) are deterministic for the pinned tier; *_s / qps / rss fields
   // are machine-dependent perf (check_bench.sh's tolerance band).
@@ -185,6 +213,7 @@ int main(int argc, char** argv) {
       .num("serve_qps", qps)
       .num("serve_p50_us", serve_p50_us)
       .num("serve_p99_us", serve_p99_us)
+      .num("delta_apply_us", std::max(delta_apply_us, 1.0))
       .num("peak_rss_bytes",
            static_cast<std::uint64_t>(bench::peak_rss_bytes()));
   record.write(out_path);

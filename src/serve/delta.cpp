@@ -1,0 +1,589 @@
+#include "serve/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/format.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_reader.h"
+#include "serve/snapshot_writer.h"
+
+namespace itm::serve {
+
+namespace {
+
+constexpr std::uint8_t kOpAdd = 1;
+constexpr std::uint8_t kOpRemove = 2;
+constexpr std::uint8_t kOpReplace = 3;
+
+// Doubles compare by bit pattern: the delta's contract is *byte* identity
+// of the applied result, and operator== would conflate 0.0 with -0.0.
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+// ---- Per-record traits: key, equality, encode, decode ----
+//
+// The payload encodings mirror snapshot_writer.cpp exactly; a record added
+// or replaced by a delta serializes into the rebuilt snapshot through the
+// same writer, so these only need to round-trip, not to define the layout.
+
+struct CountryTraits {
+  using Key = std::uint32_t;
+  static Key key(const CountryRecord& r) { return r.country; }
+  static bool equal(const CountryRecord& a, const CountryRecord& b) {
+    return a.country == b.country && a.name_ref == b.name_ref;
+  }
+  static void encode(ByteWriter& w, const CountryRecord& r) {
+    w.u32(r.country);
+    w.u32(r.name_ref);
+  }
+  static CountryRecord decode(ByteReader& r) {
+    CountryRecord rec;
+    rec.country = r.u32();
+    rec.name_ref = r.u32();
+    return rec;
+  }
+  static void encode_key(ByteWriter& w, Key k) { w.u32(k); }
+  static Key decode_key(ByteReader& r) { return r.u32(); }
+};
+
+struct AsTraits {
+  using Key = std::uint32_t;
+  static Key key(const AsRecord& r) { return r.asn; }
+  static bool equal(const AsRecord& a, const AsRecord& b) {
+    return a.asn == b.asn && a.name_ref == b.name_ref &&
+           a.country == b.country && a.type == b.type && a.flags == b.flags &&
+           f64_bits(a.activity) == f64_bits(b.activity);
+  }
+  static void encode(ByteWriter& w, const AsRecord& r) {
+    w.u32(r.asn);
+    w.u32(r.name_ref);
+    w.u32(r.country);
+    w.u32(r.type);
+    w.u32(r.flags);
+    w.f64(r.activity);
+  }
+  static AsRecord decode(ByteReader& r) {
+    AsRecord rec;
+    rec.asn = r.u32();
+    rec.name_ref = r.u32();
+    rec.country = r.u32();
+    rec.type = r.u32();
+    rec.flags = r.u32();
+    rec.activity = r.f64();
+    return rec;
+  }
+  static void encode_key(ByteWriter& w, Key k) { w.u32(k); }
+  static Key decode_key(ByteReader& r) { return r.u32(); }
+};
+
+struct PrefixTraits {
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+  static Key key(const PrefixRecord& r) { return {r.base, r.length}; }
+  static bool equal(const PrefixRecord& a, const PrefixRecord& b) {
+    return a.base == b.base && a.length == b.length &&
+           a.origin_asn == b.origin_asn;
+  }
+  static void encode(ByteWriter& w, const PrefixRecord& r) {
+    w.u32(r.base);
+    w.u32(r.length);
+    w.u32(r.origin_asn);
+  }
+  static PrefixRecord decode(ByteReader& r) {
+    PrefixRecord rec;
+    rec.base = r.u32();
+    rec.length = r.u32();
+    rec.origin_asn = r.u32();
+    return rec;
+  }
+  static void encode_key(ByteWriter& w, Key k) {
+    w.u32(k.first);
+    w.u32(k.second);
+  }
+  static Key decode_key(ByteReader& r) {
+    const std::uint32_t base = r.u32();
+    return {base, r.u32()};
+  }
+};
+
+struct EndpointTraits {
+  using Key = std::uint32_t;
+  static Key key(const EndpointRecord& r) { return r.address; }
+  static bool equal(const EndpointRecord& a, const EndpointRecord& b) {
+    return a.address == b.address && a.origin_asn == b.origin_asn &&
+           a.operator_ref == b.operator_ref && a.flags == b.flags &&
+           f64_bits(a.lat_deg) == f64_bits(b.lat_deg) &&
+           f64_bits(a.lon_deg) == f64_bits(b.lon_deg);
+  }
+  static void encode(ByteWriter& w, const EndpointRecord& r) {
+    w.u32(r.address);
+    w.u32(r.origin_asn);
+    w.u32(r.operator_ref);
+    w.u32(r.flags);
+    w.f64(r.lat_deg);
+    w.f64(r.lon_deg);
+  }
+  static EndpointRecord decode(ByteReader& r) {
+    EndpointRecord rec;
+    rec.address = r.u32();
+    rec.origin_asn = r.u32();
+    rec.operator_ref = r.u32();
+    rec.flags = r.u32();
+    rec.lat_deg = r.f64();
+    rec.lon_deg = r.f64();
+    return rec;
+  }
+  static void encode_key(ByteWriter& w, Key k) { w.u32(k); }
+  static Key decode_key(ByteReader& r) { return r.u32(); }
+};
+
+struct MappingTraits {
+  using Key = std::uint32_t;
+  static Key key(const ServiceMapping& r) { return r.service; }
+  static bool equal(const ServiceMapping& a, const ServiceMapping& b) {
+    if (a.service != b.service || a.entries.size() != b.entries.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+      const MappingEntry& x = a.entries[i];
+      const MappingEntry& y = b.entries[i];
+      if (x.prefix_base != y.prefix_base ||
+          x.prefix_length != y.prefix_length || x.address != y.address) {
+        return false;
+      }
+    }
+    return true;
+  }
+  static void encode(ByteWriter& w, const ServiceMapping& r) {
+    w.u32(r.service);
+    w.u32(static_cast<std::uint32_t>(r.entries.size()));
+    for (const MappingEntry& e : r.entries) {
+      w.u32(e.prefix_base);
+      w.u32(e.prefix_length);
+      w.u32(e.address);
+    }
+  }
+  static ServiceMapping decode(ByteReader& r) {
+    ServiceMapping rec;
+    rec.service = r.u32();
+    const std::uint32_t count = r.u32();
+    // Bound reserve by what the payload can actually hold: 12 bytes/entry.
+    rec.entries.reserve(std::min<std::size_t>(count, r.remaining() / 12));
+    for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+      MappingEntry e;
+      e.prefix_base = r.u32();
+      e.prefix_length = r.u32();
+      e.address = r.u32();
+      rec.entries.push_back(e);
+    }
+    return rec;
+  }
+  static void encode_key(ByteWriter& w, Key k) { w.u32(k); }
+  static Key decode_key(ByteReader& r) { return r.u32(); }
+};
+
+bool links_equal(const std::vector<LinkRecord>& a,
+                 const std::vector<LinkRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b ||
+        f64_bits(a[i].score) != f64_bits(b[i].score)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- Diff side: two-pointer merge of key-sorted sections into op lists ----
+
+template <typename Traits, typename Rec>
+void diff_section(ByteWriter& w, const std::vector<Rec>& base,
+                  const std::vector<Rec>& target) {
+  ByteWriter ops;
+  std::uint32_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < base.size() || j < target.size()) {
+    if (j == target.size() ||
+        (i < base.size() && Traits::key(base[i]) < Traits::key(target[j]))) {
+      ops.u8(kOpRemove);
+      Traits::encode_key(ops, Traits::key(base[i]));
+      ++count;
+      ++i;
+    } else if (i == base.size() ||
+               Traits::key(target[j]) < Traits::key(base[i])) {
+      ops.u8(kOpAdd);
+      Traits::encode(ops, target[j]);
+      ++count;
+      ++j;
+    } else {
+      if (!Traits::equal(base[i], target[j])) {
+        ops.u8(kOpReplace);
+        Traits::encode(ops, target[j]);
+        ++count;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  w.u32(count);
+  w.bytes(ops.buffer());
+}
+
+// ---- Apply side: strict merge of base + ops into the target section ----
+
+struct ApplyState {
+  std::string error;
+  bool failed = false;
+  std::uint64_t ops = 0;
+
+  bool fail(const std::string& message) {
+    if (!failed) {
+      failed = true;
+      error = message;
+    }
+    return false;
+  }
+};
+
+template <typename Traits, typename Rec>
+bool apply_section(ApplyState& st, ByteReader& r, const char* what,
+                   std::vector<Rec>& records) {
+  const std::uint32_t count = r.u32();
+  if (r.failed()) return st.fail(std::string(what) + " ops truncated");
+  std::vector<Rec> out;
+  out.reserve(records.size());
+  std::size_t i = 0;
+  bool have_prev_key = false;
+  typename Traits::Key prev_key{};
+  for (std::uint32_t n = 0; n < count; ++n) {
+    const std::uint8_t op = r.u8();
+    typename Traits::Key key{};
+    Rec rec{};
+    if (op == kOpRemove) {
+      key = Traits::decode_key(r);
+    } else if (op == kOpAdd || op == kOpReplace) {
+      rec = Traits::decode(r);
+      key = Traits::key(rec);
+    } else {
+      return st.fail(std::string(what) + " ops contain an unknown op code");
+    }
+    if (r.failed()) return st.fail(std::string(what) + " ops truncated");
+    if (have_prev_key && !(prev_key < key)) {
+      return st.fail(std::string(what) + " ops not sorted by key");
+    }
+    prev_key = key;
+    have_prev_key = true;
+
+    // Copy base records below the op key through untouched.
+    while (i < records.size() && Traits::key(records[i]) < key) {
+      out.push_back(std::move(records[i]));
+      ++i;
+    }
+    const bool present = i < records.size() && Traits::key(records[i]) == key;
+    if (op == kOpAdd) {
+      if (present) {
+        return st.fail(std::string(what) + " add op targets an existing key");
+      }
+      out.push_back(std::move(rec));
+    } else if (op == kOpRemove) {
+      if (!present) {
+        return st.fail(std::string(what) + " remove op targets a missing key");
+      }
+      ++i;
+    } else {
+      if (!present) {
+        return st.fail(std::string(what) +
+                       " replace op targets a missing key");
+      }
+      out.push_back(std::move(rec));
+      ++i;
+    }
+    ++st.ops;
+  }
+  while (i < records.size()) {
+    out.push_back(std::move(records[i]));
+    ++i;
+  }
+  records = std::move(out);
+  return true;
+}
+
+// Skips (diff) or reads (apply/info) an op list without interpreting it —
+// used by read_delta_info to structurally validate all sections.
+template <typename Traits>
+bool scan_section(ApplyState& st, ByteReader& r, const char* what) {
+  const std::uint32_t count = r.u32();
+  if (r.failed()) return st.fail(std::string(what) + " ops truncated");
+  for (std::uint32_t n = 0; n < count; ++n) {
+    const std::uint8_t op = r.u8();
+    if (op == kOpRemove) {
+      (void)Traits::decode_key(r);
+    } else if (op == kOpAdd || op == kOpReplace) {
+      (void)Traits::decode(r);
+    } else {
+      return st.fail(std::string(what) + " ops contain an unknown op code");
+    }
+    if (r.failed()) return st.fail(std::string(what) + " ops truncated");
+    ++st.ops;
+  }
+  return true;
+}
+
+void write_string_table(ByteWriter& w, const std::vector<std::string>& table) {
+  w.u32(static_cast<std::uint32_t>(table.size()));
+  for (const std::string& s : table) {
+    w.u32(static_cast<std::uint32_t>(s.size()));
+    w.bytes(s);
+  }
+}
+
+bool read_string_table(ApplyState& st, ByteReader& r,
+                       std::vector<std::string>& table) {
+  const std::uint32_t count = r.u32();
+  if (r.failed()) return st.fail("string replacement truncated");
+  table.clear();
+  table.reserve(std::min<std::size_t>(count, r.remaining() / 4));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = r.u32();
+    const std::string_view bytes = r.bytes(len);
+    if (r.failed()) return st.fail("string replacement truncated");
+    table.emplace_back(bytes);
+  }
+  return true;
+}
+
+void write_link_table(ByteWriter& w, const std::vector<LinkRecord>& links) {
+  w.u32(static_cast<std::uint32_t>(links.size()));
+  for (const LinkRecord& link : links) {
+    w.u32(link.a);
+    w.u32(link.b);
+    w.f64(link.score);
+  }
+}
+
+bool read_link_table(ApplyState& st, ByteReader& r,
+                     std::vector<LinkRecord>& links) {
+  const std::uint32_t count = r.u32();
+  if (r.failed()) return st.fail("link replacement truncated");
+  links.clear();
+  links.reserve(std::min<std::size_t>(count, r.remaining() / 16));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LinkRecord link;
+    link.a = r.u32();
+    link.b = r.u32();
+    link.score = r.f64();
+    if (r.failed()) return st.fail("link replacement truncated");
+    links.push_back(link);
+  }
+  return true;
+}
+
+constexpr std::size_t kDeltaHeaderSize = 8 + 4 + 4 + 8;
+
+// Validates the delta container (magic/version/endian/checksum) and
+// returns the tail on success.
+std::optional<std::string_view> delta_tail(std::string_view bytes,
+                                           std::string* error) {
+  const auto fail = [&](const char* message) -> std::optional<std::string_view> {
+    if (error != nullptr) *error = message;
+    obs::count("serve.delta.rejected");
+    return std::nullopt;
+  };
+  if (bytes.size() < kDeltaHeaderSize) {
+    return fail("file shorter than delta header");
+  }
+  ByteReader header(bytes.substr(0, kDeltaHeaderSize));
+  const auto magic = header.bytes(kDeltaMagic.size());
+  if (magic != std::string_view(kDeltaMagic.data(), kDeltaMagic.size())) {
+    return fail("bad magic (not an .itmsd delta)");
+  }
+  if (header.u32() != kDeltaVersion) return fail("unsupported delta version");
+  if (header.u32() != kEndianMarker) return fail("endianness marker mismatch");
+  const std::uint64_t checksum = header.u64();
+  const std::string_view tail = bytes.substr(kDeltaHeaderSize);
+  if (fnv1a64(tail) != checksum) {
+    return fail("checksum mismatch (corrupted delta)");
+  }
+  return tail;
+}
+
+std::string serialize(const Snapshot& snap) {
+  std::ostringstream os;
+  write_snapshot(snap, os);
+  return std::move(os).str();
+}
+
+}  // namespace
+
+std::optional<std::string> diff_snapshots(std::string_view base_bytes,
+                                          std::string_view target_bytes,
+                                          std::string* error) {
+  std::string parse_error;
+  const auto base = read_snapshot(base_bytes, &parse_error);
+  if (!base) {
+    if (error != nullptr) *error = "base snapshot: " + parse_error;
+    return std::nullopt;
+  }
+  const auto target = read_snapshot(target_bytes, &parse_error);
+  if (!target) {
+    if (error != nullptr) *error = "target snapshot: " + parse_error;
+    return std::nullopt;
+  }
+
+  ByteWriter tail;
+  tail.u64(snapshot_checksum(base_bytes));
+  tail.u64(snapshot_checksum(target_bytes));
+  tail.u64(target->seed);
+  tail.u64(target->addresses_probed);
+  tail.u64(target->observed_links);
+
+  if (base->strings == target->strings) {
+    tail.u8(0);
+  } else {
+    tail.u8(1);
+    write_string_table(tail, target->strings);
+  }
+  diff_section<CountryTraits>(tail, base->countries, target->countries);
+  diff_section<AsTraits>(tail, base->ases, target->ases);
+  diff_section<PrefixTraits>(tail, base->prefixes, target->prefixes);
+  diff_section<EndpointTraits>(tail, base->endpoints, target->endpoints);
+  diff_section<MappingTraits>(tail, base->mappings, target->mappings);
+  if (links_equal(base->links, target->links)) {
+    tail.u8(0);
+  } else {
+    tail.u8(1);
+    write_link_table(tail, target->links);
+  }
+
+  ByteWriter out;
+  out.bytes(std::string_view(kDeltaMagic.data(), kDeltaMagic.size()));
+  out.u32(kDeltaVersion);
+  out.u32(kEndianMarker);
+  out.u64(fnv1a64(tail.buffer()));
+  out.bytes(tail.buffer());
+  obs::count("serve.delta.diffs");
+  obs::count("serve.delta.bytes_written", out.size());
+  return out.buffer();
+}
+
+std::optional<std::string> apply_delta(std::string_view base_bytes,
+                                       std::string_view delta_bytes,
+                                       std::string* error) {
+  const auto tail = delta_tail(delta_bytes, error);
+  if (!tail) return std::nullopt;
+
+  std::string parse_error;
+  auto snap = read_snapshot(base_bytes, &parse_error);
+  if (!snap) {
+    if (error != nullptr) *error = "base snapshot: " + parse_error;
+    return std::nullopt;
+  }
+
+  ApplyState st;
+  const auto fail = [&](const std::string& message)
+      -> std::optional<std::string> {
+    if (error != nullptr) *error = message;
+    obs::count("serve.delta.rejected");
+    return std::nullopt;
+  };
+
+  ByteReader r(*tail);
+  const std::uint64_t base_checksum = r.u64();
+  const std::uint64_t target_checksum = r.u64();
+  if (r.failed()) return fail("delta tail truncated");
+  if (base_checksum != snapshot_checksum(base_bytes)) {
+    return fail("delta targets a different base snapshot");
+  }
+  snap->seed = r.u64();
+  snap->addresses_probed = r.u64();
+  snap->observed_links = r.u64();
+
+  const std::uint8_t strings_flag = r.u8();
+  if (r.failed()) return fail("delta tail truncated");
+  if (strings_flag > 1) return fail("bad string replacement flag");
+  if (strings_flag == 1 && !read_string_table(st, r, snap->strings)) {
+    return fail(st.error);
+  }
+  if (!apply_section<CountryTraits>(st, r, "country", snap->countries) ||
+      !apply_section<AsTraits>(st, r, "AS", snap->ases) ||
+      !apply_section<PrefixTraits>(st, r, "prefix", snap->prefixes) ||
+      !apply_section<EndpointTraits>(st, r, "endpoint", snap->endpoints) ||
+      !apply_section<MappingTraits>(st, r, "mapping", snap->mappings)) {
+    return fail(st.error);
+  }
+  const std::uint8_t links_flag = r.u8();
+  if (r.failed()) return fail("delta tail truncated");
+  if (links_flag > 1) return fail("bad link replacement flag");
+  if (links_flag == 1 && !read_link_table(st, r, snap->links)) {
+    return fail(st.error);
+  }
+  if (!r.exhausted()) return fail("trailing bytes after delta ops");
+
+  // The proof obligation: the rebuilt snapshot must BE the target, byte for
+  // byte. Serialization is canonical, so checksum equality is bytes
+  // equality; anything the op checks missed dies here.
+  std::string rebuilt = serialize(*snap);
+  if (snapshot_checksum(rebuilt) != target_checksum) {
+    return fail("applied result does not match the delta's target checksum");
+  }
+  obs::count("serve.delta.applies");
+  obs::count("serve.delta.ops_applied", st.ops);
+  return rebuilt;
+}
+
+std::optional<DeltaInfo> read_delta_info(std::string_view delta_bytes,
+                                         std::string* error) {
+  const auto tail = delta_tail(delta_bytes, error);
+  if (!tail) return std::nullopt;
+
+  ApplyState st;
+  const auto fail = [&](const std::string& message) -> std::optional<DeltaInfo> {
+    if (error != nullptr) *error = message;
+    obs::count("serve.delta.rejected");
+    return std::nullopt;
+  };
+
+  ByteReader r(*tail);
+  DeltaInfo info;
+  info.base_checksum = r.u64();
+  info.target_checksum = r.u64();
+  info.target_seed = r.u64();
+  (void)r.u64();  // addresses_probed
+  (void)r.u64();  // observed_links
+  const std::uint8_t strings_flag = r.u8();
+  if (r.failed()) return fail("delta tail truncated");
+  if (strings_flag > 1) return fail("bad string replacement flag");
+  info.replaces_strings = strings_flag == 1;
+  if (strings_flag == 1) {
+    std::vector<std::string> scratch;
+    if (!read_string_table(st, r, scratch)) return fail(st.error);
+  }
+  if (!scan_section<CountryTraits>(st, r, "country") ||
+      !scan_section<AsTraits>(st, r, "AS") ||
+      !scan_section<PrefixTraits>(st, r, "prefix") ||
+      !scan_section<EndpointTraits>(st, r, "endpoint") ||
+      !scan_section<MappingTraits>(st, r, "mapping")) {
+    return fail(st.error);
+  }
+  const std::uint8_t links_flag = r.u8();
+  if (r.failed()) return fail("delta tail truncated");
+  if (links_flag > 1) return fail("bad link replacement flag");
+  info.replaces_links = links_flag == 1;
+  if (links_flag == 1) {
+    std::vector<LinkRecord> scratch;
+    if (!read_link_table(st, r, scratch)) return fail(st.error);
+  }
+  if (!r.exhausted()) return fail("trailing bytes after delta ops");
+  info.ops = st.ops;
+  return info;
+}
+
+}  // namespace itm::serve

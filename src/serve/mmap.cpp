@@ -1,0 +1,97 @@
+#include "serve/mmap.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "serve/snapshot_reader.h"
+
+namespace itm::serve {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::optional<MmapSnapshot> MmapSnapshot::open(const std::string& path,
+                                               std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_error(error, path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    set_error(error, path + ": " + std::strerror(errno));
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (st.st_size <= 0) {
+    set_error(error, path + ": empty file");
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  // MAP_PRIVATE keeps us immune to concurrent truncation turning reads into
+  // SIGBUS on pages we already validated being rewritten; the file is a
+  // build artifact, replaced atomically by rename in practice.
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    set_error(error, path + ": mmap: " + std::strerror(errno));
+    return std::nullopt;
+  }
+
+  std::string validation_error;
+  auto view = borrow_snapshot(
+      std::string_view(static_cast<const char*>(data), size),
+      &validation_error);
+  if (!view) {
+    ::munmap(data, size);
+    set_error(error, path + ": " + validation_error);
+    return std::nullopt;
+  }
+
+  MmapSnapshot snap;
+  snap.data_ = data;
+  snap.size_ = size;
+  snap.view_ = *view;
+  obs::gauge_max("serve.mmap.bytes_mapped", size);
+  return snap;
+}
+
+MmapSnapshot::MmapSnapshot(MmapSnapshot&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      view_(other.view_) {}
+
+MmapSnapshot& MmapSnapshot::operator=(MmapSnapshot&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    view_ = other.view_;
+  }
+  return *this;
+}
+
+MmapSnapshot::~MmapSnapshot() { reset(); }
+
+void MmapSnapshot::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace itm::serve

@@ -1,0 +1,52 @@
+// Zero-copy snapshot loading: map an `.itms` file read-only and serve
+// straight from the page cache (DESIGN.md decision #13).
+//
+// MmapSnapshot pairs the mapping with a validated SnapshotView whose section
+// views alias the mapped bytes. Validation (checksum, invariants — the full
+// borrow_snapshot pass) runs exactly once, at map time; after that, queries
+// touch only the pages they need and multiple server processes share one
+// physical copy of the file.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/view.h"
+
+namespace itm::serve {
+
+// A read-only memory mapping of a validated snapshot file. Move-only RAII:
+// the mapping (and the view into it) lives until destruction.
+class MmapSnapshot {
+ public:
+  // Maps and validates `path`. Returns nullopt and sets `error` (when
+  // non-null) on open/map failure or any validation failure.
+  [[nodiscard]] static std::optional<MmapSnapshot> open(
+      const std::string& path, std::string* error);
+
+  MmapSnapshot(MmapSnapshot&& other) noexcept;
+  MmapSnapshot& operator=(MmapSnapshot&& other) noexcept;
+  MmapSnapshot(const MmapSnapshot&) = delete;
+  MmapSnapshot& operator=(const MmapSnapshot&) = delete;
+  ~MmapSnapshot();
+
+  // The validated zero-copy view. Valid for the lifetime of this object.
+  [[nodiscard]] const SnapshotView& view() const { return view_; }
+  // The raw mapped file bytes (header included).
+  [[nodiscard]] std::string_view bytes() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  MmapSnapshot() = default;
+  void reset() noexcept;
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  SnapshotView view_;
+};
+
+}  // namespace itm::serve

@@ -49,26 +49,27 @@ const char* as_type_name(std::uint32_t type) {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const Snapshot& snapshot,
-                         std::size_t cache_capacity)
-    : snap_(&snapshot),
+QueryEngine::QueryEngine(SnapshotView view, std::size_t cache_capacity)
+    : view_(std::move(view)),
       cache_(cache_capacity),
       latency_(&obs::metrics().quantile("serve.query_latency_us")) {
   // Activity total in record (ASN-ascending) order — the same accumulation
   // order as TrafficMap::total_activity over its key-sorted estimate, so
   // the float result is bit-equal.
-  for (const auto& as : snap_->ases) total_activity_ += as.activity;
+  for (std::size_t i = 0; i < view_.ases.size(); ++i) {
+    total_activity_ += view_.ases[i].activity;
+  }
 
-  endpoints_by_as_.assign(snap_->ases.size(), 0);
-  operator_endpoints_by_as_.assign(snap_->ases.size(), {});
-  client_prefixes_by_as_.assign(snap_->ases.size(), 0);
-  for (const auto& ep : snap_->endpoints) {
-    if (const AsRecord* as = find_as(ep.origin_asn)) {
-      const auto idx = static_cast<std::size_t>(as - snap_->ases.data());
-      ++endpoints_by_as_[idx];
-      if (ep.operator_ref != kNoRef) {
-        operator_endpoints_by_as_[idx].push_back(ep.address);
-      }
+  endpoints_by_as_.assign(view_.ases.size(), 0);
+  operator_endpoints_by_as_.assign(view_.ases.size(), {});
+  client_prefixes_by_as_.assign(view_.ases.size(), 0);
+  for (std::size_t i = 0; i < view_.endpoints.size(); ++i) {
+    const EndpointRecord ep = view_.endpoints[i];
+    const std::size_t idx = find_as(ep.origin_asn);
+    if (idx == kNone) continue;
+    ++endpoints_by_as_[idx];
+    if (ep.operator_ref != kNoRef) {
+      operator_endpoints_by_as_[idx].push_back(ep.address);
     }
   }
   // Endpoint records are address-sorted, so the per-AS address lists arrive
@@ -76,63 +77,63 @@ QueryEngine::QueryEngine(const Snapshot& snapshot,
   for (auto& addrs : operator_endpoints_by_as_) {
     std::sort(addrs.begin(), addrs.end());
   }
-  for (const auto& prefix : snap_->prefixes) {
+  for (std::size_t i = 0; i < view_.prefixes.size(); ++i) {
+    const PrefixRecord prefix = view_.prefixes[i];
     if (prefix.origin_asn == kNoRef) continue;
-    if (const AsRecord* as = find_as(prefix.origin_asn)) {
-      ++client_prefixes_by_as_[static_cast<std::size_t>(as -
-                                                        snap_->ases.data())];
-    }
+    const std::size_t idx = find_as(prefix.origin_asn);
+    if (idx != kNone) ++client_prefixes_by_as_[idx];
   }
 }
 
-const AsRecord* QueryEngine::find_as(std::uint32_t asn) const {
-  const auto it = std::lower_bound(
-      snap_->ases.begin(), snap_->ases.end(), asn,
-      [](const AsRecord& rec, std::uint32_t value) { return rec.asn < value; });
-  if (it == snap_->ases.end() || it->asn != asn) return nullptr;
-  return &*it;
+QueryEngine::QueryEngine(const Snapshot& snapshot, std::size_t cache_capacity)
+    : QueryEngine(SnapshotView::of(snapshot), cache_capacity) {}
+
+std::size_t QueryEngine::find_as(std::uint32_t asn) const {
+  const std::size_t i = span_lower_bound(
+      view_.ases, [asn](const AsRecord& rec) { return rec.asn < asn; });
+  if (i == view_.ases.size() || view_.ases[i].asn != asn) return kNone;
+  return i;
 }
 
-const PrefixRecord* QueryEngine::find_covering_prefix(
+std::optional<PrefixRecord> QueryEngine::find_covering_prefix(
     Ipv4Addr address) const {
   // Records are (base, length)-sorted and pairwise disjoint, so the only
   // candidate container is the last record with base <= address.
-  const auto it = std::upper_bound(
-      snap_->prefixes.begin(), snap_->prefixes.end(), address.bits(),
-      [](std::uint32_t value, const PrefixRecord& rec) {
-        return value < rec.base;
-      });
-  if (it == snap_->prefixes.begin()) return nullptr;
-  const PrefixRecord& candidate = *(it - 1);
-  if (!candidate.prefix().contains(address)) return nullptr;
-  return &candidate;
+  const std::uint32_t bits = address.bits();
+  const std::size_t i = span_lower_bound(
+      view_.prefixes,
+      [bits](const PrefixRecord& rec) { return rec.base <= bits; });
+  if (i == 0) return std::nullopt;
+  const PrefixRecord candidate = view_.prefixes[i - 1];
+  if (!candidate.prefix().contains(address)) return std::nullopt;
+  return candidate;
 }
 
 QueryEngine::PointAnswer QueryEngine::lookup(Ipv4Addr address) const {
   PointAnswer answer;
-  if (const PrefixRecord* rec = find_covering_prefix(address)) {
+  if (const auto rec = find_covering_prefix(address)) {
     answer.client_prefix = rec->prefix();
     if (rec->origin_asn != kNoRef) {
       answer.origin = Asn(rec->origin_asn);
-      if (const AsRecord* as = find_as(rec->origin_asn)) {
-        answer.activity = as->activity;
-      }
+      const std::size_t idx = find_as(rec->origin_asn);
+      if (idx != kNone) answer.activity = view_.ases[idx].activity;
     }
   }
   // ECS mappings are keyed by /24 — the sweep granularity — regardless of
   // the detected client prefix's length.
   const Ipv4Prefix key(address, 24);
-  for (const auto& mapping : snap_->mappings) {
-    const auto it = std::lower_bound(
-        mapping.entries.begin(), mapping.entries.end(),
-        std::pair{key.base().bits(), std::uint32_t{24}},
-        [](const MappingEntry& e, const std::pair<std::uint32_t,
-                                                  std::uint32_t>& k) {
-          return std::pair{e.prefix_base, e.prefix_length} < k;
+  const auto wanted = std::pair{key.base().bits(), std::uint32_t{24}};
+  for (std::size_t m = 0; m < view_.mappings.size(); ++m) {
+    const ServiceMappingView mapping = view_.mappings[m];
+    const std::size_t e = span_lower_bound(
+        mapping.entries, [&wanted](const MappingEntry& entry) {
+          return std::pair{entry.prefix_base, entry.prefix_length} < wanted;
         });
-    if (it != mapping.entries.end() && it->prefix_base == key.base().bits() &&
-        it->prefix_length == 24) {
-      answer.serving.emplace_back(mapping.service, Ipv4Addr(it->address));
+    if (e == mapping.entries.size()) continue;
+    const MappingEntry entry = mapping.entries[e];
+    if (entry.prefix_base == wanted.first &&
+        entry.prefix_length == wanted.second) {
+      answer.serving.emplace_back(mapping.service, Ipv4Addr(entry.address));
     }
   }
   return answer;
@@ -150,38 +151,38 @@ QueryEngine::PointAnswer QueryEngine::lookup(const Ipv4Prefix& prefix) const {
 }
 
 std::optional<QueryEngine::AsAnswer> QueryEngine::as_answer(Asn asn) const {
-  const AsRecord* rec = find_as(asn.value());
-  if (rec == nullptr) return std::nullopt;
+  const std::size_t idx = find_as(asn.value());
+  if (idx == kNone) return std::nullopt;
+  const AsRecord rec = view_.ases[idx];
   AsAnswer answer;
   answer.asn = asn;
-  answer.name = snap_->strings[rec->name_ref];
-  answer.country = CountryId(rec->country);
-  answer.type = rec->type;
-  answer.activity = rec->activity;
-  answer.is_client = rec->is_client();
-  answer.endpoints_inside =
-      endpoints_by_as_[static_cast<std::size_t>(rec - snap_->ases.data())];
+  answer.name = view_.strings[rec.name_ref];
+  answer.country = CountryId(rec.country);
+  answer.type = rec.type;
+  answer.activity = rec.activity;
+  answer.is_client = rec.is_client();
+  answer.endpoints_inside = endpoints_by_as_[idx];
   return answer;
 }
 
 std::optional<core::OutageImpact> QueryEngine::outage(Asn failed) const {
-  const AsRecord* rec = find_as(failed.value());
-  if (rec == nullptr) return std::nullopt;
-  const auto idx = static_cast<std::size_t>(rec - snap_->ases.data());
+  const std::size_t idx = find_as(failed.value());
+  if (idx == kNone) return std::nullopt;
+  const AsRecord rec = view_.ases[idx];
   core::OutageImpact impact;
   if (total_activity_ > 0) {
-    impact.activity_share = rec->activity / total_activity_;
+    impact.activity_share = rec.activity / total_activity_;
   }
   impact.client_prefixes = client_prefixes_by_as_[idx];
   const auto& inside = operator_endpoints_by_as_[idx];
   impact.servers_inside = inside.size();
-  for (const auto& mapping : snap_->mappings) {
-    const bool affected = std::any_of(
-        mapping.entries.begin(), mapping.entries.end(),
-        [&inside](const MappingEntry& entry) {
-          return std::binary_search(inside.begin(), inside.end(),
-                                    entry.address);
-        });
+  for (std::size_t m = 0; m < view_.mappings.size(); ++m) {
+    const ServiceMappingView mapping = view_.mappings[m];
+    bool affected = false;
+    for (std::size_t e = 0; e < mapping.entries.size() && !affected; ++e) {
+      affected = std::binary_search(inside.begin(), inside.end(),
+                                    mapping.entries[e].address);
+    }
     if (affected) {
       impact.services_served_from.push_back(ServiceId(mapping.service));
     }
@@ -193,20 +194,19 @@ std::optional<core::OutageImpact> QueryEngine::outage(Asn failed) const {
 
 std::optional<QueryEngine::CountryAnswer> QueryEngine::country(
     CountryId id) const {
-  const auto it = std::lower_bound(
-      snap_->countries.begin(), snap_->countries.end(), id.value(),
-      [](const CountryRecord& rec, std::uint32_t value) {
-        return rec.country < value;
-      });
-  if (it == snap_->countries.end() || it->country != id.value()) {
+  const std::uint32_t wanted = id.value();
+  const std::size_t c = span_lower_bound(
+      view_.countries,
+      [wanted](const CountryRecord& rec) { return rec.country < wanted; });
+  if (c == view_.countries.size() || view_.countries[c].country != wanted) {
     return std::nullopt;
   }
   CountryAnswer answer;
   answer.country = id;
-  answer.name = snap_->strings[it->name_ref];
-  for (std::size_t i = 0; i < snap_->ases.size(); ++i) {
-    const auto& as = snap_->ases[i];
-    if (as.country != id.value()) continue;
+  answer.name = view_.strings[view_.countries[c].name_ref];
+  for (std::size_t i = 0; i < view_.ases.size(); ++i) {
+    const AsRecord as = view_.ases[i];
+    if (as.country != wanted) continue;
     answer.activity += as.activity;
     if (as.is_client()) ++answer.client_ases;
     answer.endpoints += endpoints_by_as_[i];
@@ -217,7 +217,8 @@ std::optional<QueryEngine::CountryAnswer> QueryEngine::country(
 std::vector<std::pair<Asn, double>> QueryEngine::top_ases(
     std::size_t k) const {
   std::vector<std::pair<Asn, double>> ranked;
-  for (const auto& as : snap_->ases) {
+  for (std::size_t i = 0; i < view_.ases.size(); ++i) {
+    const AsRecord as = view_.ases[i];
     if (as.activity > 0) ranked.emplace_back(Asn(as.asn), as.activity);
   }
   std::sort(ranked.begin(), ranked.end(),
@@ -232,13 +233,15 @@ std::vector<std::pair<Asn, double>> QueryEngine::top_ases(
 std::vector<std::pair<CountryId, double>> QueryEngine::top_countries(
     std::size_t k) const {
   std::vector<std::pair<CountryId, double>> ranked;
-  ranked.reserve(snap_->countries.size());
-  for (const auto& rec : snap_->countries) {
+  ranked.reserve(view_.countries.size());
+  for (std::size_t c = 0; c < view_.countries.size(); ++c) {
+    const std::uint32_t country = view_.countries[c].country;
     double total = 0.0;
-    for (const auto& as : snap_->ases) {
-      if (as.country == rec.country) total += as.activity;
+    for (std::size_t i = 0; i < view_.ases.size(); ++i) {
+      const AsRecord as = view_.ases[i];
+      if (as.country == country) total += as.activity;
     }
-    ranked.emplace_back(CountryId(rec.country), total);
+    ranked.emplace_back(CountryId(country), total);
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) {
@@ -256,8 +259,9 @@ std::string QueryEngine::format_point(const PointAnswer& answer) const {
   os << " as=";
   if (answer.origin) {
     os << answer.origin->value();
-    if (const AsRecord* rec = find_as(answer.origin->value())) {
-      os << " name=" << snap_->strings[rec->name_ref];
+    const std::size_t idx = find_as(answer.origin->value());
+    if (idx != kNone) {
+      os << " name=" << view_.strings[view_.ases[idx].name_ref];
     }
   } else {
     os << "none";
@@ -370,17 +374,17 @@ std::string QueryEngine::execute_uncached(const std::string& line) const {
   }
   if (verb == "stats" && tokens.size() == 1) {
     std::size_t client_ases = 0;
-    for (const auto& as : snap_->ases) {
-      if (as.is_client()) ++client_ases;
+    for (std::size_t i = 0; i < view_.ases.size(); ++i) {
+      if (view_.ases[i].is_client()) ++client_ases;
     }
     std::ostringstream os;
-    os << "stats ases=" << snap_->ases.size() << " client_ases=" << client_ases
-       << " client_prefixes=" << snap_->prefixes.size() << " endpoints="
-       << snap_->endpoints.size() << " services=" << snap_->mappings.size()
-       << " recommended_links=" << snap_->links.size() << " observed_links="
-       << snap_->observed_links << " addresses_probed="
-       << snap_->addresses_probed << " total_activity="
-       << fmt(total_activity_) << " seed=" << snap_->seed;
+    os << "stats ases=" << view_.ases.size() << " client_ases=" << client_ases
+       << " client_prefixes=" << view_.prefixes.size() << " endpoints="
+       << view_.endpoints.size() << " services=" << view_.mappings.size()
+       << " recommended_links=" << view_.links.size() << " observed_links="
+       << view_.observed_links << " addresses_probed="
+       << view_.addresses_probed << " total_activity="
+       << fmt(total_activity_) << " seed=" << view_.seed;
     return os.str();
   }
   return "error: unknown query '" + line + "'";

@@ -7,6 +7,11 @@
 // engine answer equals the corresponding in-memory TrafficMap answer
 // (asserted by tests/serve/query_engine_test.cpp).
 //
+// The engine is built over a SnapshotView, so the same query code serves
+// decoded vectors (an owned Snapshot) and raw mapped bytes (MmapSnapshot /
+// a delta-applied blob) identically — answers cannot depend on where the
+// records live.
+//
 // The engine also speaks a line-delimited batch protocol (`execute`):
 //
 //   lookup <a.b.c.d>        point lookup for an address
@@ -20,7 +25,9 @@
 //
 // One line in, one line out, in input order; malformed lines produce a
 // deterministic "error: ..." line instead of aborting the batch. Results
-// are memoized in a bounded LRU cache keyed by the query line.
+// are memoized in a bounded LRU cache keyed by the query line; `answer()`
+// is the cache-free const entry point the resident server shares one
+// engine through (thread-safe: touches only immutable state).
 #pragma once
 
 #include <cstdint>
@@ -35,13 +42,17 @@
 #include "obs/quantile.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
+#include "serve/view.h"
 
 namespace itm::serve {
 
 class QueryEngine {
  public:
-  // The snapshot must outlive the engine (the engine holds indexes into
-  // it). `cache_capacity` bounds the LRU result cache; 0 disables it.
+  // The storage behind `view` must outlive the engine (the engine holds
+  // the view plus indexes into it). `cache_capacity` bounds the LRU result
+  // cache; 0 disables it.
+  explicit QueryEngine(SnapshotView view, std::size_t cache_capacity = 1024);
+  // Convenience for owned snapshots (which must outlive the engine).
   explicit QueryEngine(const Snapshot& snapshot,
                        std::size_t cache_capacity = 1024);
 
@@ -98,8 +109,16 @@ class QueryEngine {
   // ---- Batch protocol ----
 
   // Executes one protocol line and returns the one-line answer. Caches
-  // results; repeated lines hit the LRU.
+  // results; repeated lines hit the LRU. Not thread-safe (cache + stats).
   [[nodiscard]] std::string execute(const std::string& line);
+
+  // Cache-free protocol answer. Const and thread-safe: any number of
+  // threads may call answer() on one engine concurrently — the resident
+  // server shares a single per-epoch engine this way, with per-worker
+  // caches layered outside.
+  [[nodiscard]] std::string answer(const std::string& line) const {
+    return execute_uncached(line);
+  }
 
   [[nodiscard]] std::uint64_t cache_hits() const { return cache_.hits(); }
   [[nodiscard]] std::uint64_t cache_misses() const { return cache_.misses(); }
@@ -115,13 +134,17 @@ class QueryEngine {
   }
 
  private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
   [[nodiscard]] std::string execute_uncached(const std::string& line) const;
-  [[nodiscard]] const AsRecord* find_as(std::uint32_t asn) const;
-  [[nodiscard]] const PrefixRecord* find_covering_prefix(
+  // Record index of the AS (kNone when absent) — indexes, not pointers,
+  // because wire-mode records are decoded per access.
+  [[nodiscard]] std::size_t find_as(std::uint32_t asn) const;
+  [[nodiscard]] std::optional<PrefixRecord> find_covering_prefix(
       Ipv4Addr address) const;
   [[nodiscard]] std::string format_point(const PointAnswer& answer) const;
 
-  const Snapshot* snap_;
+  SnapshotView view_;
   double total_activity_ = 0.0;
   // Per-AS precomputed indexes (dense by record position, not ASN):
   // endpoint counts, operator-endpoint addresses (sorted), client-prefix

@@ -12,7 +12,7 @@ namespace itm::serve {
 namespace {
 
 // Local error channel: fail() records the first diagnostic and every
-// subsequent check short-circuits, so parse code reads top-to-bottom.
+// subsequent check short-circuits, so validation code reads top-to-bottom.
 struct Parser {
   std::string error;
   bool failed = false;
@@ -31,53 +31,76 @@ bool check(Parser& p, bool ok, const char* message) {
   return ok && !p.failed;
 }
 
-bool parse_strings(Parser& p, ByteReader r, std::vector<std::string>& out) {
+// Every section is a u32 record count followed by its payload. Each
+// validator decodes every record field-by-field through a ByteReader — the
+// exact mirror of the writer's emit sequence — and then borrows the raw
+// payload as a RecordSpan, so the returned view stays zero-copy while
+// truncation, trailing bytes, and per-record invariants are all checked
+// once, up front.
+
+bool validate_strings(Parser& p, std::string_view payload, StringsView& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> offsets;
+  offsets.reserve(std::min<std::size_t>(count, r.remaining() / 4));
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
     const std::uint32_t len = r.u32();
-    const auto view = r.bytes(len);
-    if (!r.failed()) out.emplace_back(view);
+    const std::size_t offset = r.position();
+    (void)r.bytes(len);
+    if (!r.failed()) {
+      offsets.emplace_back(static_cast<std::uint32_t>(offset), len);
+    }
   }
   if (!check(p, !r.failed(), "string table truncated")) return false;
-  return check(p, r.exhausted(), "string table has trailing bytes");
+  if (!check(p, r.exhausted(), "string table has trailing bytes")) {
+    return false;
+  }
+  out = StringsView::wire(payload.data(), std::move(offsets));
+  return true;
 }
 
-bool parse_meta(Parser& p, ByteReader r, Snapshot& snap) {
-  snap.addresses_probed = r.u64();
-  snap.observed_links = r.u64();
+bool validate_meta(Parser& p, std::string_view payload, SnapshotView& view) {
+  ByteReader r(payload);
+  view.addresses_probed = r.u64();
+  view.observed_links = r.u64();
   if (!check(p, !r.failed(), "meta section truncated")) return false;
   return check(p, r.exhausted(), "meta section has trailing bytes");
 }
 
-bool parse_countries(Parser& p, ByteReader r, const Snapshot& snap,
-                     std::vector<CountryRecord>& out) {
+bool validate_countries(Parser& p, std::string_view payload,
+                        const SnapshotView& view,
+                        RecordSpan<CountryRecord>& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
+  CountryRecord prev;
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
     CountryRecord rec;
     rec.country = r.u32();
     rec.name_ref = r.u32();
     if (r.failed()) break;
-    if (!check(p, rec.name_ref < snap.strings.size(),
+    if (!check(p, rec.name_ref < view.strings.size(),
                "country name reference out of range")) {
       return false;
     }
-    if (!out.empty() &&
-        !check(p, out.back().country < rec.country,
-               "country records not sorted by id")) {
+    if (i > 0 && !check(p, prev.country < rec.country,
+                        "country records not sorted by id")) {
       return false;
     }
-    out.push_back(rec);
+    prev = rec;
   }
   if (!check(p, !r.failed(), "country section truncated")) return false;
-  return check(p, r.exhausted(), "country section has trailing bytes");
+  if (!check(p, r.exhausted(), "country section has trailing bytes")) {
+    return false;
+  }
+  out = RecordSpan<CountryRecord>::wire(payload.data() + 4, count);
+  return true;
 }
 
-bool parse_ases(Parser& p, ByteReader r, const Snapshot& snap,
-                std::vector<AsRecord>& out) {
+bool validate_ases(Parser& p, std::string_view payload,
+                   const SnapshotView& view, RecordSpan<AsRecord>& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
-  // Reserve bounded by the bytes actually present (28 per record), so a
-  // crafted count cannot force a huge allocation before the bounds checks.
-  out.reserve(std::min<std::size_t>(count, r.remaining() / 28));
+  std::uint32_t prev_asn = 0;
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
     AsRecord rec;
     rec.asn = r.u32();
@@ -87,23 +110,29 @@ bool parse_ases(Parser& p, ByteReader r, const Snapshot& snap,
     rec.flags = r.u32();
     rec.activity = r.f64();
     if (r.failed()) break;
-    if (!check(p, rec.name_ref < snap.strings.size(),
+    if (!check(p, rec.name_ref < view.strings.size(),
                "AS name reference out of range")) {
       return false;
     }
-    if (!out.empty() && !check(p, out.back().asn < rec.asn,
-                               "AS records not sorted by ASN")) {
+    if (i > 0 &&
+        !check(p, prev_asn < rec.asn, "AS records not sorted by ASN")) {
       return false;
     }
-    out.push_back(rec);
+    prev_asn = rec.asn;
   }
   if (!check(p, !r.failed(), "AS section truncated")) return false;
-  return check(p, r.exhausted(), "AS section has trailing bytes");
+  if (!check(p, r.exhausted(), "AS section has trailing bytes")) {
+    return false;
+  }
+  out = RecordSpan<AsRecord>::wire(payload.data() + 4, count);
+  return true;
 }
 
-bool parse_prefixes(Parser& p, ByteReader r, std::vector<PrefixRecord>& out) {
+bool validate_prefixes(Parser& p, std::string_view payload,
+                       RecordSpan<PrefixRecord>& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
-  out.reserve(std::min<std::size_t>(count, r.remaining() / 12));
+  PrefixRecord prev;
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
     PrefixRecord rec;
     rec.base = r.u32();
@@ -113,8 +142,7 @@ bool parse_prefixes(Parser& p, ByteReader r, std::vector<PrefixRecord>& out) {
     if (!check(p, rec.length <= 32, "prefix length out of range")) {
       return false;
     }
-    if (!out.empty()) {
-      const auto& prev = out.back();
+    if (i > 0) {
       if (!check(p, std::pair{prev.base, prev.length} <
                         std::pair{rec.base, rec.length},
                  "prefix records not sorted")) {
@@ -126,16 +154,22 @@ bool parse_prefixes(Parser& p, ByteReader r, std::vector<PrefixRecord>& out) {
         return false;
       }
     }
-    out.push_back(rec);
+    prev = rec;
   }
   if (!check(p, !r.failed(), "prefix section truncated")) return false;
-  return check(p, r.exhausted(), "prefix section has trailing bytes");
+  if (!check(p, r.exhausted(), "prefix section has trailing bytes")) {
+    return false;
+  }
+  out = RecordSpan<PrefixRecord>::wire(payload.data() + 4, count);
+  return true;
 }
 
-bool parse_endpoints(Parser& p, ByteReader r, const Snapshot& snap,
-                     std::vector<EndpointRecord>& out) {
+bool validate_endpoints(Parser& p, std::string_view payload,
+                        const SnapshotView& view,
+                        RecordSpan<EndpointRecord>& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
-  out.reserve(std::min<std::size_t>(count, r.remaining() / 32));
+  std::uint32_t prev_address = 0;
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
     EndpointRecord rec;
     rec.address = r.u32();
@@ -147,31 +181,37 @@ bool parse_endpoints(Parser& p, ByteReader r, const Snapshot& snap,
     if (r.failed()) break;
     if (!check(p,
                rec.operator_ref == kNoRef ||
-                   rec.operator_ref < snap.strings.size(),
+                   rec.operator_ref < view.strings.size(),
                "endpoint operator reference out of range")) {
       return false;
     }
-    if (!out.empty() && !check(p, out.back().address < rec.address,
-                               "endpoint records not sorted by address")) {
+    if (i > 0 && !check(p, prev_address < rec.address,
+                        "endpoint records not sorted by address")) {
       return false;
     }
-    out.push_back(rec);
+    prev_address = rec.address;
   }
   if (!check(p, !r.failed(), "endpoint section truncated")) return false;
-  return check(p, r.exhausted(), "endpoint section has trailing bytes");
+  if (!check(p, r.exhausted(), "endpoint section has trailing bytes")) {
+    return false;
+  }
+  out = RecordSpan<EndpointRecord>::wire(payload.data() + 4, count);
+  return true;
 }
 
-bool parse_mappings(Parser& p, ByteReader r,
-                    std::vector<ServiceMapping>& out) {
+bool validate_mappings(Parser& p, std::string_view payload,
+                       MappingsView& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
-  out.reserve(std::min<std::size_t>(count, r.remaining() / 8));
+  std::vector<MappingsView::WireDir> dir;
+  dir.reserve(std::min<std::size_t>(count, r.remaining() / 8));
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
-    ServiceMapping mapping;
-    mapping.service = r.u32();
-    const std::uint32_t entries = r.u32();
-    mapping.entries.reserve(std::min<std::size_t>(
-        r.failed() ? 0 : entries, r.remaining() / 12));
-    for (std::uint32_t j = 0; j < entries && !r.failed(); ++j) {
+    MappingsView::WireDir d;
+    d.service = r.u32();
+    d.entry_count = r.u32();
+    d.entry_offset = r.position();
+    MappingEntry prev;
+    for (std::uint32_t j = 0; j < d.entry_count && !r.failed(); ++j) {
       MappingEntry entry;
       entry.prefix_base = r.u32();
       entry.prefix_length = r.u32();
@@ -181,55 +221,63 @@ bool parse_mappings(Parser& p, ByteReader r,
                  "mapping prefix length out of range")) {
         return false;
       }
-      if (!mapping.entries.empty()) {
-        const auto& prev = mapping.entries.back();
-        if (!check(p,
-                   std::pair{prev.prefix_base, prev.prefix_length} <
-                       std::pair{entry.prefix_base, entry.prefix_length},
-                   "mapping entries not sorted by prefix")) {
-          return false;
-        }
+      if (j > 0 &&
+          !check(p,
+                 std::pair{prev.prefix_base, prev.prefix_length} <
+                     std::pair{entry.prefix_base, entry.prefix_length},
+                 "mapping entries not sorted by prefix")) {
+        return false;
       }
-      mapping.entries.push_back(entry);
+      prev = entry;
     }
     if (r.failed()) break;
-    if (!out.empty() && !check(p, out.back().service < mapping.service,
+    if (!dir.empty() && !check(p, dir.back().service < d.service,
                                "service mappings not sorted by id")) {
       return false;
     }
-    out.push_back(std::move(mapping));
+    dir.push_back(d);
   }
   if (!check(p, !r.failed(), "mapping section truncated")) return false;
-  return check(p, r.exhausted(), "mapping section has trailing bytes");
+  if (!check(p, r.exhausted(), "mapping section has trailing bytes")) {
+    return false;
+  }
+  out = MappingsView::wire(payload.data(), std::move(dir));
+  return true;
 }
 
-bool parse_links(Parser& p, ByteReader r, std::vector<LinkRecord>& out) {
+bool validate_links(Parser& p, std::string_view payload,
+                    RecordSpan<LinkRecord>& out) {
+  ByteReader r(payload);
   const std::uint32_t count = r.u32();
-  out.reserve(std::min<std::size_t>(count, r.remaining() / 16));
   for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
     LinkRecord rec;
     rec.a = r.u32();
     rec.b = r.u32();
     rec.score = r.f64();
-    if (!r.failed()) out.push_back(rec);
+    (void)rec;
   }
   if (!check(p, !r.failed(), "link section truncated")) return false;
-  return check(p, r.exhausted(), "link section has trailing bytes");
+  if (!check(p, r.exhausted(), "link section has trailing bytes")) {
+    return false;
+  }
+  out = RecordSpan<LinkRecord>::wire(payload.data() + 4, count);
+  return true;
 }
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
 
 }  // namespace
 
-std::optional<Snapshot> read_snapshot(std::string_view bytes,
-                                      std::string* error) {
+std::optional<SnapshotView> borrow_snapshot(std::string_view bytes,
+                                            std::string* error) {
   Parser p;
-  const auto fail = [&](const char* message) -> std::optional<Snapshot> {
+  const auto fail = [&](const char* message) -> std::optional<SnapshotView> {
     p.fail(message);
     if (error != nullptr) *error = p.error;
     obs::count("serve.snapshot.load_rejected");
     return std::nullopt;
   };
 
-  constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
   if (bytes.size() < kHeaderSize) return fail("file shorter than header");
   ByteReader header(bytes.substr(0, kHeaderSize));
   const auto magic = header.bytes(kSnapshotMagic.size());
@@ -246,8 +294,8 @@ std::optional<Snapshot> read_snapshot(std::string_view bytes,
   }
 
   ByteReader t(tail);
-  Snapshot snap;
-  snap.seed = t.u64();
+  SnapshotView view;
+  view.seed = t.u64();
   const std::uint32_t section_count = t.u32();
   if (t.u32() != 0) return fail("reserved header field not zero");
   if (t.failed()) return fail("section table truncated");
@@ -286,13 +334,13 @@ std::optional<Snapshot> read_snapshot(std::string_view bytes,
     }
   }
 
-  const auto payload = [&](SectionId id) -> std::optional<std::string_view> {
+  const auto payload = [&](SectionId id) -> std::string_view {
     for (const auto& s : sections) {
       if (s.id == static_cast<std::uint32_t>(id)) {
         return bytes.substr(s.offset, s.size);
       }
     }
-    return std::nullopt;
+    return {};
   };
   // Every v1 section is required, and no other ids are defined.
   for (const auto& s : sections) {
@@ -300,21 +348,16 @@ std::optional<Snapshot> read_snapshot(std::string_view bytes,
   }
   if (sections.size() != 8) return fail("missing required section");
 
-  bool ok = parse_strings(p, ByteReader(*payload(SectionId::kStrings)),
-                          snap.strings);
-  ok = ok && parse_meta(p, ByteReader(*payload(SectionId::kMeta)), snap);
-  ok = ok && parse_countries(p, ByteReader(*payload(SectionId::kCountries)),
-                             snap, snap.countries);
-  ok = ok && parse_ases(p, ByteReader(*payload(SectionId::kAsRecords)), snap,
-                        snap.ases);
-  ok = ok && parse_prefixes(p, ByteReader(*payload(SectionId::kPrefixes)),
-                            snap.prefixes);
-  ok = ok && parse_endpoints(p, ByteReader(*payload(SectionId::kEndpoints)),
-                             snap, snap.endpoints);
-  ok = ok && parse_mappings(p, ByteReader(*payload(SectionId::kMappings)),
-                            snap.mappings);
-  ok = ok && parse_links(p, ByteReader(*payload(SectionId::kLinks)),
-                         snap.links);
+  bool ok = validate_strings(p, payload(SectionId::kStrings), view.strings);
+  ok = ok && validate_meta(p, payload(SectionId::kMeta), view);
+  ok = ok && validate_countries(p, payload(SectionId::kCountries), view,
+                                view.countries);
+  ok = ok && validate_ases(p, payload(SectionId::kAsRecords), view, view.ases);
+  ok = ok && validate_prefixes(p, payload(SectionId::kPrefixes), view.prefixes);
+  ok = ok && validate_endpoints(p, payload(SectionId::kEndpoints), view,
+                                view.endpoints);
+  ok = ok && validate_mappings(p, payload(SectionId::kMappings), view.mappings);
+  ok = ok && validate_links(p, payload(SectionId::kLinks), view.links);
   if (!ok || p.failed) {
     if (error != nullptr) *error = p.error;
     obs::count("serve.snapshot.load_rejected");
@@ -323,6 +366,56 @@ std::optional<Snapshot> read_snapshot(std::string_view bytes,
 
   obs::count("serve.snapshot.loads");
   obs::count("serve.snapshot.bytes_read", bytes.size());
+  return view;
+}
+
+std::optional<Snapshot> read_snapshot(std::string_view bytes,
+                                      std::string* error) {
+  const auto view = borrow_snapshot(bytes, error);
+  if (!view) return std::nullopt;
+
+  // Materialize owned storage from the validated view. Every invariant was
+  // already checked, so this is a straight copy loop; re-serializing the
+  // result reproduces `bytes` exactly (the round-trip property test).
+  Snapshot snap;
+  snap.seed = view->seed;
+  snap.addresses_probed = view->addresses_probed;
+  snap.observed_links = view->observed_links;
+  snap.strings.reserve(view->strings.size());
+  for (std::size_t i = 0; i < view->strings.size(); ++i) {
+    snap.strings.emplace_back(view->strings[i]);
+  }
+  snap.countries.reserve(view->countries.size());
+  for (std::size_t i = 0; i < view->countries.size(); ++i) {
+    snap.countries.push_back(view->countries[i]);
+  }
+  snap.ases.reserve(view->ases.size());
+  for (std::size_t i = 0; i < view->ases.size(); ++i) {
+    snap.ases.push_back(view->ases[i]);
+  }
+  snap.prefixes.reserve(view->prefixes.size());
+  for (std::size_t i = 0; i < view->prefixes.size(); ++i) {
+    snap.prefixes.push_back(view->prefixes[i]);
+  }
+  snap.endpoints.reserve(view->endpoints.size());
+  for (std::size_t i = 0; i < view->endpoints.size(); ++i) {
+    snap.endpoints.push_back(view->endpoints[i]);
+  }
+  snap.mappings.reserve(view->mappings.size());
+  for (std::size_t i = 0; i < view->mappings.size(); ++i) {
+    const ServiceMappingView m = view->mappings[i];
+    ServiceMapping mapping;
+    mapping.service = m.service;
+    mapping.entries.reserve(m.entries.size());
+    for (std::size_t j = 0; j < m.entries.size(); ++j) {
+      mapping.entries.push_back(m.entries[j]);
+    }
+    snap.mappings.push_back(std::move(mapping));
+  }
+  snap.links.reserve(view->links.size());
+  for (std::size_t i = 0; i < view->links.size(); ++i) {
+    snap.links.push_back(view->links[i]);
+  }
   return snap;
 }
 
@@ -335,6 +428,11 @@ std::optional<Snapshot> read_snapshot(std::istream& is, std::string* error) {
   }
   const std::string bytes = buffer.str();
   return read_snapshot(bytes, error);
+}
+
+std::uint64_t snapshot_checksum(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) return 0;
+  return wire_u64(bytes.data() + 8 + 4 + 4);
 }
 
 }  // namespace itm::serve

@@ -3,8 +3,15 @@
 // The reader trusts nothing: magic/version/endianness, the whole-tail
 // checksum, section-table bounds, canonical section order and packing,
 // string references, record sort invariants and exact payload consumption
-// are all checked before a Snapshot is returned. A snapshot that loads is
+// are all checked before anything is returned. A snapshot that loads is
 // therefore safe to binary-search and will re-serialize byte-identically.
+//
+// Two load modes share one validation pass:
+//   * borrow_snapshot — zero-copy: returns a SnapshotView whose section
+//     views point into `bytes` (which must outlive the view). This is the
+//     resident server's mmap path; validation runs once, at map time.
+//   * read_snapshot — owning: materializes a Snapshot (decoded vectors)
+//     from the validated view. The writer/diff/tests path.
 #pragma once
 
 #include <istream>
@@ -13,11 +20,17 @@
 #include <string_view>
 
 #include "serve/snapshot.h"
+#include "serve/view.h"
 
 namespace itm::serve {
 
-// Parses and validates a snapshot from raw bytes. Returns nullopt and sets
+// Validates `bytes` as a canonical snapshot and returns section views that
+// alias it — no record or string is copied. Returns nullopt and sets
 // `error` (when non-null) to a one-line diagnostic on any violation.
+[[nodiscard]] std::optional<SnapshotView> borrow_snapshot(
+    std::string_view bytes, std::string* error);
+
+// Parses and validates a snapshot from raw bytes into owned storage.
 [[nodiscard]] std::optional<Snapshot> read_snapshot(std::string_view bytes,
                                                     std::string* error);
 
@@ -25,5 +38,9 @@ namespace itm::serve {
 // missing file opened upstream) reports through `error` as well.
 [[nodiscard]] std::optional<Snapshot> read_snapshot(std::istream& is,
                                                     std::string* error);
+
+// The header checksum field of a canonical snapshot byte blob — the epoch
+// identity the delta format keys on. Assumes `bytes` already validated.
+[[nodiscard]] std::uint64_t snapshot_checksum(std::string_view bytes);
 
 }  // namespace itm::serve

@@ -31,7 +31,7 @@ LAYOUT = [
     "bytes_per_prefix_soa", "bytes_per_prefix_legacy",
 ]
 PERF = ["generate_s", "build_s", "serve_qps", "serve_p50_us", "serve_p99_us",
-        "peak_rss_bytes"]
+        "delta_apply_us", "peak_rss_bytes"]
 
 LAYOUT_TOLERANCE = 1.5
 

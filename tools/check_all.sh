@@ -5,6 +5,7 @@
 #   lint    tools/check_lint.sh     itm-lint determinism/concurrency rules
 #   tier1   cmake + ctest           the full functional test suite
 #   snapshot tools/check_snapshot.sh  .itms byte-determinism + corruption
+#   serve   tools/check_serve.sh    resident server: delta + hot swap e2e
 #   obs     tools/check_obs.sh      flight recorder, quantiles, itm obs
 #   bench   tools/check_bench.sh    BENCH_tiny.json record vs committed
 #   tsan    tools/check_tsan.sh     data races in the parallel executor
@@ -49,6 +50,7 @@ run_gate format tools/check_format.sh
 run_gate lint tools/check_lint.sh
 run_gate tier1 tier1
 run_gate snapshot tools/check_snapshot.sh
+run_gate serve tools/check_serve.sh
 run_gate obs tools/check_obs.sh
 run_gate bench tools/check_bench.sh
 if [[ "${ITM_CHECK_FAST:-0}" != "1" ]]; then

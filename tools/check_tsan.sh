@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build the deterministic-parallelism tests under ThreadSanitizer and run
-# the tsan-labeled subset (executor unit tests + serial/parallel
-# equivalence tests). This is the data-race gate for src/net/executor.*
-# and every sharded pipeline stage.
+# the tsan-labeled subset (executor unit tests, serial/parallel
+# equivalence tests, and the epoch hot-swap stress test). This is the
+# data-race gate for src/net/executor.*, every sharded pipeline stage,
+# and the resident server's RCU epoch swap.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -11,7 +12,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DITM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target executor_tests parallel_tests
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target executor_tests parallel_tests hot_swap_tests
 
 # Fail on any race TSan reports, even if the test assertions still pass.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 abort_on_error=1}"

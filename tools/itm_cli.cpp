@@ -35,9 +35,26 @@
 //       --threads value.
 //   itm serve --snapshot FILE --queries FILE [--cache-size N]
 //             [--metrics-out FILE]
-//       Load an `.itms` snapshot and answer a line-delimited query batch
-//       (one answer line per query line, in input order; blank lines and
-//       `#` comments are skipped). See serve/query_engine.h for the verbs.
+//       Map an `.itms` snapshot (zero-copy, validated at map time) and
+//       answer a line-delimited query batch (one answer line per query
+//       line, in input order; blank lines and `#` comments are skipped).
+//       See serve/query_engine.h for the verbs. A truncated or corrupted
+//       snapshot is a runtime error (exit 4), never an exception.
+//   itm served --snapshot FILE [--listen SOCK | --stdio] [--threads N]
+//              [--cache-size N] [--events-out FILE]
+//       Resident query server: keeps the snapshot mapped and answers
+//       sessions over stdio (default) or an AF_UNIX socket, dispatching
+//       batches across N sharded workers. Control verbs `swap-snapshot
+//       <file>` and `apply-delta <file>` hot-swap the serving epoch with
+//       RCU-style grace (in-flight queries finish on the old epoch);
+//       `epoch` prints id/checksum/latency quantiles. SIGTERM/SIGINT
+//       drain in-flight queries, flush the journal, and exit 0.
+//   itm snapshot-diff <old.itms> <new.itms> --out FILE
+//       Compute a versioned, checksummed `.itmsd` delta that turns the
+//       old snapshot into the new one (see serve/delta.h).
+//   itm snapshot-apply <base.itms> <delta.itmsd> --out FILE
+//       Apply a delta to a base snapshot; the output is byte-identical to
+//       the full target snapshot the delta was computed against.
 //   itm obs report <metrics.json> [--baseline <metrics.json>]
 //                  [--perf-tolerance X]
 //       Per-stage run summary (wall time, RSS delta, shard imbalance, top
@@ -72,7 +89,11 @@
 #include "obs/report.h"
 #include "obs/resource.h"
 #include "obs/trace.h"
+#include "net/executor.h"
+#include "serve/delta.h"
+#include "serve/mmap.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
 #include "serve/snapshot_reader.h"
 #include "serve/snapshot_writer.h"
 #include "topology/serialization.h"
@@ -107,6 +128,8 @@ struct CliOptions {
   std::optional<std::string> snapshot_path;  // itm serve --snapshot
   std::optional<std::string> queries_path;   // itm serve --queries
   std::size_t cache_size = 1024;             // itm serve --cache-size
+  std::optional<std::string> listen_path;    // itm served --listen
+  bool stdio = false;                        // itm served --stdio
   std::optional<std::string> baseline_path;  // itm obs report --baseline
   double perf_tolerance = 25.0;              // itm obs report ratio band
   bool verbose = false;
@@ -157,6 +180,10 @@ CliOptions parse(int argc, char** argv, int first) {
       options.queries_path = next();
     } else if (arg == "--cache-size") {
       options.cache_size = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--listen") {
+      options.listen_path = next();
+    } else if (arg == "--stdio") {
+      options.stdio = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (!arg.empty() && arg.front() == '-') {
@@ -577,24 +604,20 @@ int cmd_serve(const CliOptions& options) {
   obs::MetricsRegistry registry;
   const obs::ScopedMetrics metrics_scope(registry);
 
-  std::ifstream snapshot_in(*options.snapshot_path, std::ios::binary);
-  if (!snapshot_in) {
-    std::cerr << "cannot open " << *options.snapshot_path << "\n";
-    return kExitRuntime;
-  }
+  // Zero-copy load: the snapshot is mapped read-only and validated once;
+  // the engine serves straight from the mapping. Any truncated, corrupted
+  // or non-snapshot file surfaces as a one-line runtime error (exit 4).
   const obs::Stopwatch load_watch;
   std::string error;
-  const auto snapshot = serve::read_snapshot(snapshot_in, &error);
-  if (!snapshot) {
-    std::cerr << *options.snapshot_path << ": " << error << "\n";
+  auto mapped = serve::MmapSnapshot::open(*options.snapshot_path, &error);
+  if (!mapped) {
+    std::cerr << "error: cannot serve snapshot: " << error << "\n";
     return kExitRuntime;
   }
   // Snapshot-load instrumentation: the byte count is a pure function of the
   // snapshot file (deterministic); the load duration is not.
-  snapshot_in.clear();
-  snapshot_in.seekg(0, std::ios::end);
   obs::gauge_set("serve.snapshot.bytes",
-                 static_cast<std::int64_t>(snapshot_in.tellg()));
+                 static_cast<std::int64_t>(mapped->size()));
   obs::gauge_set("serve.snapshot.load_ms",
                  static_cast<std::int64_t>(load_watch.elapsed_us() / 1000),
                  obs::Determinism::kWallClock);
@@ -603,7 +626,7 @@ int cmd_serve(const CliOptions& options) {
     std::cerr << "cannot open " << *options.queries_path << "\n";
     return kExitRuntime;
   }
-  serve::QueryEngine engine(*snapshot, options.cache_size);
+  serve::QueryEngine engine(mapped->view(), options.cache_size);
   std::string line;
   while (std::getline(queries_in, line)) {
     if (line.empty() || line.front() == '#') continue;
@@ -615,7 +638,7 @@ int cmd_serve(const CliOptions& options) {
   obs::count("serve.cache.evictions", engine.cache_evictions());
   std::cerr << "served " << engine.queries_executed() << " queries ("
             << engine.cache_hits() << " cache hits, seed "
-            << snapshot->seed << ")\n";
+            << mapped->view().seed << ")\n";
   if (options.metrics_path) {
     std::ofstream metrics_out(*options.metrics_path);
     registry.write_json(metrics_out,
@@ -624,6 +647,121 @@ int cmd_serve(const CliOptions& options) {
                             : obs::MetricsRegistry::Export::kDeterministicOnly);
     std::cout << "wrote " << *options.metrics_path << "\n";
   }
+  return 0;
+}
+
+int cmd_served(const CliOptions& options) {
+  if (!options.snapshot_path || (options.listen_path && options.stdio)) {
+    std::cerr << "usage: itm served --snapshot FILE [--listen SOCK | "
+                 "--stdio] [--threads N] [--cache-size N]\n";
+    return kExitUsage;
+  }
+  obs::MetricsRegistry registry;
+  const obs::ScopedMetrics metrics_scope(registry);
+  // Journal + crash flush first (SIGSEGV/SIGABRT keep the flush-and-die
+  // handlers), then the graceful SIGTERM/SIGINT handlers on top: a signal
+  // sets one flag, the session loop drains, and the destructor of
+  // RunInstrumentation flushes the journal on the way to exit 0.
+  const RunInstrumentation instrumentation(options);
+  serve::Server::install_signal_handlers();
+
+  net::Executor executor(options.threads);
+  serve::ServedOptions served_options;
+  served_options.snapshot_path = *options.snapshot_path;
+  served_options.listen_path = options.listen_path.value_or("");
+  served_options.cache_capacity = options.cache_size;
+  serve::Server server(served_options, executor);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "error: cannot serve snapshot: " << error << "\n";
+    return kExitRuntime;
+  }
+  std::cerr << "itm served: epoch 0 loaded from " << *options.snapshot_path
+            << (served_options.listen_path.empty()
+                    ? ", serving on stdio\n"
+                    : ", listening on " + served_options.listen_path + "\n");
+  return server.run();
+}
+
+int cmd_snapshot_diff(const CliOptions& options) {
+  if (options.positional.size() < 2 || !options.out_path) {
+    std::cerr << "usage: itm snapshot-diff <old.itms> <new.itms> --out FILE\n";
+    return kExitUsage;
+  }
+  const auto read_file = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (is.bad()) return std::nullopt;
+    return std::move(buffer).str();
+  };
+  const auto base = read_file(options.positional[0]);
+  const auto target = read_file(options.positional[1]);
+  if (!base || !target) {
+    std::cerr << "cannot read "
+              << options.positional[!base ? 0 : 1] << "\n";
+    return kExitRuntime;
+  }
+  std::string error;
+  const auto delta = serve::diff_snapshots(*base, *target, &error);
+  if (!delta) {
+    std::cerr << "error: " << error << "\n";
+    return kExitRuntime;
+  }
+  std::ofstream out(*options.out_path, std::ios::binary);
+  out.write(delta->data(), static_cast<std::streamsize>(delta->size()));
+  out.close();
+  if (!out) {
+    std::cerr << "failed writing " << *options.out_path << "\n";
+    return kExitRuntime;
+  }
+  const auto info = serve::read_delta_info(*delta, &error);
+  std::cout << "wrote " << *options.out_path << " (" << delta->size()
+            << " bytes, " << (info ? info->ops : 0) << " record ops, "
+            << (100.0 * static_cast<double>(delta->size()) /
+                static_cast<double>(target->size()))
+            << "% of the full snapshot)\n";
+  return 0;
+}
+
+int cmd_snapshot_apply(const CliOptions& options) {
+  if (options.positional.size() < 2 || !options.out_path) {
+    std::cerr << "usage: itm snapshot-apply <base.itms> <delta.itmsd> "
+                 "--out FILE\n";
+    return kExitUsage;
+  }
+  const auto read_file = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (is.bad()) return std::nullopt;
+    return std::move(buffer).str();
+  };
+  const auto base = read_file(options.positional[0]);
+  const auto delta = read_file(options.positional[1]);
+  if (!base || !delta) {
+    std::cerr << "cannot read "
+              << options.positional[!base ? 0 : 1] << "\n";
+    return kExitRuntime;
+  }
+  std::string error;
+  const auto target = serve::apply_delta(*base, *delta, &error);
+  if (!target) {
+    std::cerr << "error: " << error << "\n";
+    return kExitRuntime;
+  }
+  std::ofstream out(*options.out_path, std::ios::binary);
+  out.write(target->data(), static_cast<std::streamsize>(target->size()));
+  out.close();
+  if (!out) {
+    std::cerr << "failed writing " << *options.out_path << "\n";
+    return kExitRuntime;
+  }
+  std::cout << "wrote " << *options.out_path << " (" << target->size()
+            << " bytes, checksum "
+            << serve::snapshot_checksum(*target) << ")\n";
   return 0;
 }
 
@@ -675,7 +813,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: itm "
                  "<generate|map|outage|path|top|rel-export|rel-path|"
-                 "snapshot|serve|obs|version> [options]\n";
+                 "snapshot|serve|served|snapshot-diff|snapshot-apply|"
+                 "obs|version> [options]\n";
     return kExitUsage;
   }
   const std::string command = argv[1];
@@ -689,6 +828,9 @@ int main(int argc, char** argv) {
   if (command == "rel-path") return cmd_rel_path(options);
   if (command == "snapshot") return cmd_snapshot(options);
   if (command == "serve") return cmd_serve(options);
+  if (command == "served") return cmd_served(options);
+  if (command == "snapshot-diff") return cmd_snapshot_diff(options);
+  if (command == "snapshot-apply") return cmd_snapshot_apply(options);
   if (command == "obs") return cmd_obs(options);
   if (command == "version") return cmd_version();
   std::cerr << "unknown command '" << command << "'\n";
